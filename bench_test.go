@@ -1,0 +1,181 @@
+package elasticflow_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/allreduce"
+	"github.com/elasticflow/elasticflow/internal/core"
+	"github.com/elasticflow/elasticflow/internal/experiments"
+	"github.com/elasticflow/elasticflow/internal/job"
+	"github.com/elasticflow/elasticflow/internal/model"
+	"github.com/elasticflow/elasticflow/internal/plan"
+	"github.com/elasticflow/elasticflow/internal/throughput"
+	"github.com/elasticflow/elasticflow/internal/topology"
+)
+
+// benchExperiment wraps one paper experiment as a benchmark. Quick mode
+// keeps `go test -bench=.` tractable; run cmd/efbench for the full scales.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	gen := experiments.Registry[id]
+	if gen == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table, err := gen(experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// One benchmark per table and figure of the paper's evaluation (§6).
+
+func BenchmarkTable1ModelPool(b *testing.B)           { benchExperiment(b, "table1") }
+func BenchmarkFig2aScalingCurves(b *testing.B)        { benchExperiment(b, "fig2a") }
+func BenchmarkFig2bPlacementThroughput(b *testing.B)  { benchExperiment(b, "fig2b") }
+func BenchmarkFig3MotivatingExample(b *testing.B)     { benchExperiment(b, "fig3") }
+func BenchmarkFig6aTestbedSmall(b *testing.B)         { benchExperiment(b, "fig6a") }
+func BenchmarkFig6bTestbedLarge(b *testing.B)         { benchExperiment(b, "fig6b") }
+func BenchmarkFig7aAllocationTimeline(b *testing.B)   { benchExperiment(b, "fig7a") }
+func BenchmarkFig7bAdmissionTimeline(b *testing.B)    { benchExperiment(b, "fig7b") }
+func BenchmarkFig8aSimulationWithPollux(b *testing.B) { benchExperiment(b, "fig8a") }
+func BenchmarkFig8bAllTraces(b *testing.B)            { benchExperiment(b, "fig8b") }
+func BenchmarkFig9Ablation(b *testing.B)              { benchExperiment(b, "fig9") }
+func BenchmarkFig10ClusterEfficiency(b *testing.B)    { benchExperiment(b, "fig10") }
+func BenchmarkFig11BestEffort(b *testing.B)           { benchExperiment(b, "fig11") }
+func BenchmarkFig12aProfilingOverhead(b *testing.B)   { benchExperiment(b, "fig12a") }
+func BenchmarkFig12bScalingOverhead(b *testing.B)     { benchExperiment(b, "fig12b") }
+
+func BenchmarkFidelitySimVsLive(b *testing.B) { benchExperiment(b, "fidelity") }
+func BenchmarkScaleSweep(b *testing.B)        { benchExperiment(b, "scale") }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func BenchmarkAblationIncrement(b *testing.B) { benchExperiment(b, "abl-increment") }
+func BenchmarkAblationOverhead(b *testing.B)  { benchExperiment(b, "abl-overhead") }
+func BenchmarkAblationSlot(b *testing.B)      { benchExperiment(b, "abl-slot") }
+func BenchmarkAblationCurves(b *testing.B)    { benchExperiment(b, "abl-curves") }
+func BenchmarkAblationReserve(b *testing.B)   { benchExperiment(b, "abl-reserve") }
+func BenchmarkAblationPlacement(b *testing.B) { benchExperiment(b, "abl-placement") }
+
+// Micro-benchmarks of the core machinery.
+
+func benchJobs(n, gpus int) []*job.Job {
+	curve := throughput.MustCurve(map[int]float64{1: 1, 2: 1.8, 4: 3.1, 8: 4.8, 16: 6.2, 32: 7.1})
+	jobs := make([]*job.Job, n)
+	for i := range jobs {
+		jobs[i] = &job.Job{
+			ID:          fmt.Sprintf("j%03d", i),
+			GlobalBatch: 64,
+			TotalIters:  float64(1000 + 137*i%5000),
+			SubmitTime:  0,
+			Deadline:    float64(1800 + 211*i%14000),
+			Class:       job.SLO,
+			Curve:       curve,
+			MinGPUs:     1,
+			MaxGPUs:     32,
+		}
+	}
+	return jobs
+}
+
+// BenchmarkAdmissionControl measures Algorithm 1 on a loaded 128-GPU cluster.
+func BenchmarkAdmissionControl(b *testing.B) {
+	ef := core.NewDefault()
+	jobs := benchJobs(64, 128)
+	cand := jobs[len(jobs)-1]
+	active := jobs[:len(jobs)-1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ef.Admit(0, cand, active, 128)
+	}
+}
+
+// BenchmarkResourceAllocation measures Algorithm 2 (Schedule) with 64 jobs.
+func BenchmarkResourceAllocation(b *testing.B) {
+	ef := core.NewDefault()
+	jobs := benchJobs(64, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ef.Schedule(0, jobs, 128)
+	}
+}
+
+// BenchmarkProgressiveFilling measures one Fill over a long horizon.
+func BenchmarkProgressiveFilling(b *testing.B) {
+	curve := throughput.MustCurve(map[int]float64{1: 1, 2: 1.8, 4: 3.1, 8: 4.8})
+	d := plan.Demand{Curve: curve, Remaining: 5000, DeadlineSlot: 1440, MinGPUs: 1, MaxGPUs: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := plan.NewFiller(128, 60, true)
+		f.Fill(d)
+	}
+}
+
+// BenchmarkBuddyAllocate measures buddy allocation/release cycles.
+func BenchmarkBuddyAllocate(b *testing.B) {
+	c, err := topology.New(topology.Config{Servers: 16, GPUsPerServer: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := []int{1, 2, 4, 8, 16}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("b%d", i)
+		if _, err := c.Allocate(id, sizes[i%len(sizes)]); err != nil {
+			// Cluster full: drain it and continue.
+			b.StopTimer()
+			for jid := range c.Placements() {
+				if err := c.Release(jid); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			continue
+		}
+	}
+}
+
+// BenchmarkRingAllReduce measures the executor's collective on 8 workers.
+func BenchmarkRingAllReduce(b *testing.B) {
+	const workers, size = 8, 4096
+	bufs := make([][]float64, workers)
+	for r := range bufs {
+		bufs[r] = make([]float64, size)
+		for i := range bufs[r] {
+			bufs[r][i] = float64(r + i)
+		}
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(size * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := allreduce.Run(workers, func(g *allreduce.Group, rank int) error {
+			return g.AllReduce(rank, bufs[rank])
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThroughputEstimate measures the analytic performance model.
+func BenchmarkThroughputEstimate(b *testing.B) {
+	est := throughput.NewEstimator(model.DefaultA100())
+	spec := model.MustByName("bert")
+	p := throughput.BestPlacement(16, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.IterTime(spec, 128, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Command efserver runs the ElasticFlow serverless platform: an HTTP/JSON
+// control plane over a virtual GPU cluster.
+//
+// Usage:
+//
+//	efserver [-addr :8080] [-servers 2] [-gpus-per-server 8] [-timescale 1]
+//
+// Submit a training function with:
+//
+//	curl -X POST localhost:8080/v1/jobs -d '{
+//	  "model": "resnet50", "global_batch": 128,
+//	  "iterations": 100000, "deadline_seconds": 3600}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"github.com/elasticflow/elasticflow/internal/serverless"
+	"github.com/elasticflow/elasticflow/internal/topology"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	servers := flag.Int("servers", 2, "virtual servers (power of two)")
+	perServer := flag.Int("gpus-per-server", 8, "GPUs per server (power of two)")
+	timescale := flag.Float64("timescale", 1, "platform seconds per wall second")
+	flag.Parse()
+
+	p, err := serverless.NewPlatform(serverless.Options{
+		Topology:  topology.Config{Servers: *servers, GPUsPerServer: *perServer},
+		TimeScale: *timescale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Periodic ticks complete jobs and reschedule between API calls.
+	go func() {
+		for range time.Tick(time.Second) {
+			p.Tick()
+		}
+	}()
+	fmt.Printf("efserver: %d GPUs, timescale %.0fx, listening on %s\n", *servers**perServer, *timescale, *addr)
+	log.Fatal(http.ListenAndServe(*addr, serverless.Handler(p)))
+}

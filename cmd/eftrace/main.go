@@ -1,0 +1,89 @@
+// Command eftrace generates workload traces (§6.1) and writes them as JSON
+// for efsim.
+//
+// Usage:
+//
+//	eftrace -out trace.json [-jobs N] [-gpus N] [-load F] [-be F] [-seed N]
+//	eftrace -production -out dir/    # the ten cluster traces + philly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/elasticflow/elasticflow/internal/trace"
+)
+
+func main() {
+	out := flag.String("out", "", "output file (or directory with -production)")
+	jobs := flag.Int("jobs", 100, "number of jobs")
+	gpus := flag.Int("gpus", 128, "cluster GPUs")
+	load := flag.Float64("load", 1.2, "offered load")
+	be := flag.Float64("be", 0, "best-effort fraction")
+	seed := flag.Int64("seed", 1, "random seed")
+	name := flag.String("name", "custom", "trace name")
+	users := flag.Int("users", 0, "number of distinct users (0 = anonymous)")
+	production := flag.Bool("production", false, "emit the ten production-style traces plus philly")
+	stats := flag.Bool("stats", false, "print distribution statistics for the generated or loaded trace")
+	in := flag.String("in", "", "with -stats: load this trace instead of generating one")
+	flag.Parse()
+
+	if *stats {
+		var tr trace.Trace
+		var err error
+		if *in != "" {
+			tr, err = trace.Load(*in)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			tr = trace.Generate(trace.Config{
+				Name: *name, Jobs: *jobs, ClusterGPUs: *gpus, Load: *load,
+				BestEffortFraction: *be, Seed: *seed,
+			})
+		}
+		fmt.Print(tr.Stats())
+		return
+	}
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "eftrace: -out is required")
+		os.Exit(2)
+	}
+	if *production {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		traces := append(trace.ProductionTraces(*jobs), trace.PhillyTrace(*jobs))
+		for _, tr := range traces {
+			path := filepath.Join(*out, tr.Name+".json")
+			if err := tr.Save(path); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d jobs, %d GPUs)\n", path, len(tr.Items), tr.GPUs)
+		}
+		return
+	}
+	tr := trace.Generate(trace.Config{
+		Name: *name, Jobs: *jobs, ClusterGPUs: *gpus, Load: *load,
+		BestEffortFraction: *be, Users: *users, Seed: *seed,
+	})
+	var err error
+	if strings.HasSuffix(*out, ".csv") {
+		err = tr.SaveCSV(*out)
+	} else {
+		err = tr.Save(*out)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d jobs, %d GPUs, span %.1fh)\n", *out, len(tr.Items), tr.GPUs, tr.Span()/3600)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eftrace:", err)
+	os.Exit(1)
+}

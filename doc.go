@@ -1,0 +1,10 @@
+// Package elasticflow is a from-scratch Go reproduction of "ElasticFlow: An
+// Elastic Serverless Training Platform for Distributed Deep Learning"
+// (ASPLOS 2023).
+//
+// The implementation lives under internal/ (one package per subsystem — see
+// DESIGN.md for the inventory), runnable binaries under cmd/, and usage
+// examples under examples/. The benchmarks in bench_test.go regenerate every
+// table and figure of the paper's evaluation; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package elasticflow

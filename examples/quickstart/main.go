@@ -1,0 +1,84 @@
+// Quickstart: run an in-process ElasticFlow platform, submit a handful of
+// training functions the serverless way (no GPU counts!), and watch
+// admission control and elastic scaling react.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/elasticflow/elasticflow/internal/serverless"
+	"github.com/elasticflow/elasticflow/internal/topology"
+)
+
+func main() {
+	// A virtual 16-GPU cluster (2 servers × 8 A100s) running 600×
+	// faster than wall time so the demo finishes in seconds.
+	start := time.Now()
+	platform, err := serverless.NewPlatform(serverless.Options{
+		Topology:  topology.Config{Servers: 2, GPUsPerServer: 8},
+		TimeScale: 600,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Submit three jobs. Note the interface of §3.1: model,
+	// hyperparameters, termination condition and deadline — never a
+	// GPU count.
+	submissions := []serverless.SubmitRequest{
+		{Model: "resnet50", GlobalBatch: 256, Iterations: 200_000, DeadlineSeconds: 2 * 3600},
+		{Model: "bert", GlobalBatch: 128, Iterations: 60_000, DeadlineSeconds: 1 * 3600},
+		{Model: "vgg16", GlobalBatch: 256, Iterations: 5_000_000, DeadlineSeconds: 600}, // hopeless
+	}
+	var ids []string
+	for _, req := range submissions {
+		st, err := platform.Submit(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("submitted %-9s deadline=%5.0fs -> %s (%s", req.Model, req.DeadlineSeconds, st.ID, st.State)
+		if st.State == "dropped" {
+			fmt.Printf(": admission control cannot guarantee this deadline")
+		} else {
+			fmt.Printf(", %d GPUs, local batch %d", st.GPUs, st.LocalBatch)
+		}
+		fmt.Println(")")
+		ids = append(ids, st.ID)
+	}
+
+	// Watch the platform until everything admitted completes.
+	for tick := 0; tick < 100; tick++ {
+		time.Sleep(200 * time.Millisecond)
+		platform.Tick()
+		cs := platform.Cluster()
+		if cs.Admitted == 0 {
+			break
+		}
+		if tick%5 == 0 {
+			fmt.Printf("t=%6.0fs  running=%d  free GPUs=%d/%d\n",
+				cs.PlatformSec, cs.Running, cs.FreeGPUs, cs.TotalGPUs)
+		}
+	}
+
+	fmt.Println("\nfinal job states:")
+	for _, id := range ids {
+		st, err := platform.Get(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		line := fmt.Sprintf("  %s %-9s %-9s", st.ID, st.Model, st.State)
+		if st.State == "completed" {
+			met := "MET deadline"
+			if st.Deadline > 0 && st.Completion > st.Deadline {
+				met = "MISSED deadline"
+			}
+			line += fmt.Sprintf(" at t=%.0fs (%s)", st.Completion, met)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("\n(demo wall time: %.1fs)\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,148 @@
+package elasticflow_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	elasticflow "github.com/elasticflow/elasticflow"
+	"github.com/elasticflow/elasticflow/internal/topology"
+)
+
+// TestPublicAPISchedulers: every documented scheduler name resolves and the
+// unknown name errors.
+func TestPublicAPISchedulers(t *testing.T) {
+	for _, name := range elasticflow.SchedulerNames() {
+		s, err := elasticflow.SchedulerByName(name)
+		if err != nil {
+			t.Errorf("SchedulerByName(%q): %v", name, err)
+			continue
+		}
+		if s.Name() == "" {
+			t.Errorf("%q: empty scheduler name", name)
+		}
+	}
+	if _, err := elasticflow.SchedulerByName("slurm"); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if s, err := elasticflow.SchedulerByName("ef"); err != nil || s.Name() != "elasticflow" {
+		t.Errorf("alias ef -> %v, %v", s, err)
+	}
+}
+
+// TestPublicAPIEndToEnd drives the facade the way the README advertises:
+// generate a workload, simulate it under two schedulers, compare.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	hw := elasticflow.DefaultHardware()
+	est := elasticflow.NewEstimator(hw)
+	prof := elasticflow.NewProfiler(est, 8, 64)
+
+	tr := elasticflow.GenerateTrace(elasticflow.TraceConfig{
+		Name: "facade", Jobs: 30, ClusterGPUs: 32, Load: 1.5, Seed: 99,
+	})
+	if len(elasticflow.ModelCatalog()) != 6 {
+		t.Fatal("model catalog incomplete")
+	}
+
+	results := map[string]elasticflow.SimResult{}
+	for _, name := range []string{"elasticflow", "gandiva"} {
+		s, err := elasticflow.SchedulerByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs, err := tr.Jobs(prof, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := elasticflow.Simulate(elasticflow.SimConfig{
+			Topology:  elasticflow.Topology{Servers: 4, GPUsPerServer: 8},
+			Scheduler: s,
+		}, jobs, tr.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[name] = res
+	}
+	if results["elasticflow"].DeadlineSatisfactoryRatio() <= results["gandiva"].DeadlineSatisfactoryRatio() {
+		t.Errorf("facade run lost the headline comparison: %v vs %v",
+			results["elasticflow"].DeadlineSatisfactoryRatio(), results["gandiva"].DeadlineSatisfactoryRatio())
+	}
+}
+
+// TestPublicAPIPlatformWithPolicies wires quotas and pricing through the
+// public surface.
+func TestPublicAPIPlatformWithPolicies(t *testing.T) {
+	quota := elasticflow.NewUserQuota(1, 3600)
+	budget := elasticflow.NewBudget(elasticflow.Pricing{RatePerGPUHour: 1, UrgencyPremium: 0.5})
+	budget.Grant("amy", 1e6)
+
+	clock := time.Unix(0, 0)
+	p, err := elasticflow.NewPlatform(elasticflow.PlatformOptions{
+		Topology: topology.Config{Servers: 2, GPUsPerServer: 8},
+		Scheduler: elasticflow.NewScheduler(elasticflow.SchedulerOptions{
+			PowerOfTwo: true,
+			Quota:      elasticflow.ChainPolicies(quota, budget),
+		}),
+		Clock: func() time.Time { return clock },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := elasticflow.SubmitRequest{
+		User: "amy", Model: "bert", GlobalBatch: 128,
+		Iterations: 10000, DeadlineSeconds: 7200,
+	}
+	st, err := p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State == "dropped" {
+		t.Fatalf("first submission dropped: %+v", st)
+	}
+	if budget.Balance("amy") >= 1e6 {
+		t.Error("pricing did not charge the user")
+	}
+	st2, err := p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != "dropped" {
+		t.Error("user quota not enforced through the facade")
+	}
+}
+
+// TestPublicAPIClusterAndFailures covers the remaining facade surface.
+func TestPublicAPIClusterAndFailures(t *testing.T) {
+	c, err := elasticflow.NewCluster(elasticflow.Topology{Servers: 2, GPUsPerServer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalGPUs() != 16 {
+		t.Errorf("TotalGPUs=%d", c.TotalGPUs())
+	}
+	s, err := elasticflow.SchedulerByName("elasticflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &elasticflow.Job{
+		ID: "f", GlobalBatch: 64, TotalIters: 1000, Deadline: math.Inf(1),
+		Class: elasticflow.BestEffort, MinGPUs: 1, MaxGPUs: 8,
+	}
+	prof, _, err := elasticflow.NewProfiler(elasticflow.NewEstimator(elasticflow.DefaultHardware()), 8, 8).
+		Profile(elasticflow.ModelCatalog()[0], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Curve = prof.Curve
+	res, err := elasticflow.Simulate(elasticflow.SimConfig{
+		Topology:  elasticflow.Topology{Servers: 2, GPUsPerServer: 8},
+		Scheduler: s,
+		Failures:  []elasticflow.NodeFailure{{Server: 0, StartSec: 1, DurationSec: 10}},
+	}, []*elasticflow.Job{j}, "facade-failures")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Jobs[0].Finished {
+		t.Error("job did not survive the injected failure")
+	}
+}

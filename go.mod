@@ -1,0 +1,3 @@
+module github.com/elasticflow/elasticflow
+
+go 1.22

@@ -1,0 +1,237 @@
+// Package agent is the worker-side control plane of Fig. 1: each simulated
+// server runs an Agent exposing Launch/Step/Stop/Status over net/rpc (the
+// stdlib stand-in for the prototype's gRPC control messages, §5), and a
+// Controller orchestrates jobs across agents — launching serverless
+// training functions, rescaling them in place, and migrating them between
+// agents by shipping checkpoints, exactly the stop-free discipline the
+// paper implements on PyTorch.
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"github.com/elasticflow/elasticflow/internal/elastic"
+)
+
+// TaskSpec describes a training task an agent can materialize locally: the
+// model family, the synthetic dataset recipe, and the hyperparameters of
+// the serverless function (§3.1). Everything is by value so it serializes
+// over RPC.
+type TaskSpec struct {
+	// Dim is the input dimension; Hidden > 0 selects the MLP model,
+	// otherwise linear regression.
+	Dim    int
+	Hidden int
+	// DataSeed, DataN and Noise parameterize the synthetic dataset;
+	// equal values reproduce the same data on any agent, which is what
+	// makes checkpoint migration exact.
+	DataSeed int64
+	DataN    int
+	Noise    float64
+	// GlobalBatch and LearningRate are the user's hyperparameters.
+	GlobalBatch  int
+	LearningRate float64
+	// InitSeed fixes the parameter initialization.
+	InitSeed int64
+	// TotalIters is the termination condition.
+	TotalIters int
+}
+
+func (s TaskSpec) trainer(workers int) (*elastic.Trainer, error) {
+	data, _ := elastic.SyntheticRegression(s.DataSeed, s.DataN, s.Dim, s.Noise)
+	var m elastic.Model
+	if s.Hidden > 0 {
+		m = elastic.MLP{Dim: s.Dim, Hidden: s.Hidden}
+	} else {
+		m = elastic.LinearRegression{Dim: s.Dim}
+	}
+	return elastic.New(elastic.Config{
+		Model:        m,
+		Data:         data,
+		GlobalBatch:  s.GlobalBatch,
+		LearningRate: s.LearningRate,
+		Workers:      workers,
+		Seed:         s.InitSeed,
+	})
+}
+
+// LaunchArgs starts (or resumes) a job on an agent.
+type LaunchArgs struct {
+	JobID   string
+	Spec    TaskSpec
+	Workers int
+	// Resume, when non-nil, restores training from a checkpoint — the
+	// migration path (§5).
+	Resume *elastic.Checkpoint
+}
+
+// LaunchReply reports the launched configuration.
+type LaunchReply struct {
+	Workers    int
+	LocalBatch int
+	Step       int
+}
+
+// StepArgs advances a job by Iters iterations.
+type StepArgs struct {
+	JobID string
+	Iters int
+}
+
+// StepReply reports progress after stepping.
+type StepReply struct {
+	Step int
+	Done bool
+}
+
+// StopArgs checkpoints and removes a job from the agent.
+type StopArgs struct{ JobID string }
+
+// StopReply carries the final checkpoint.
+type StopReply struct{ Checkpoint elastic.Checkpoint }
+
+// StatusArgs queries a job.
+type StatusArgs struct{ JobID string }
+
+// StatusReply is a job's live status on its agent.
+type StatusReply struct {
+	Step       int
+	Workers    int
+	LocalBatch int
+	Loss       float64
+	Done       bool
+}
+
+// Agent hosts training tasks on one (simulated) server. Exported methods
+// follow the net/rpc convention.
+type Agent struct {
+	name string
+
+	mu    sync.Mutex
+	tasks map[string]*task
+}
+
+type task struct {
+	spec    TaskSpec
+	trainer *elastic.Trainer
+}
+
+// NewAgent creates an agent named for diagnostics.
+func NewAgent(name string) *Agent {
+	return &Agent{name: name, tasks: make(map[string]*task)}
+}
+
+// Launch implements the RPC: materialize the task and start (or resume) it.
+func (a *Agent) Launch(args LaunchArgs, reply *LaunchReply) error {
+	tr, err := args.Spec.trainer(args.Workers)
+	if err != nil {
+		return err
+	}
+	if args.Resume != nil {
+		if err := tr.Restore(*args.Resume); err != nil {
+			return err
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.tasks[args.JobID]; ok {
+		return fmt.Errorf("agent %s: job %s already running", a.name, args.JobID)
+	}
+	a.tasks[args.JobID] = &task{spec: args.Spec, trainer: tr}
+	*reply = LaunchReply{Workers: tr.Workers(), LocalBatch: tr.LocalBatch(), Step: tr.Step()}
+	return nil
+}
+
+func (a *Agent) get(jobID string) (*task, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t, ok := a.tasks[jobID]
+	if !ok {
+		return nil, fmt.Errorf("agent %s: unknown job %s", a.name, jobID)
+	}
+	return t, nil
+}
+
+// Step implements the RPC: run up to args.Iters iterations, stopping at the
+// termination condition.
+func (a *Agent) Step(args StepArgs, reply *StepReply) error {
+	t, err := a.get(args.JobID)
+	if err != nil {
+		return err
+	}
+	n := args.Iters
+	if remaining := t.spec.TotalIters - t.trainer.Step(); n > remaining {
+		n = remaining
+	}
+	if n > 0 {
+		if err := t.trainer.Steps(n); err != nil {
+			return err
+		}
+	}
+	*reply = StepReply{Step: t.trainer.Step(), Done: t.trainer.Step() >= t.spec.TotalIters}
+	return nil
+}
+
+// Stop implements the RPC: checkpoint the job and remove it.
+func (a *Agent) Stop(args StopArgs, reply *StopReply) error {
+	t, err := a.get(args.JobID)
+	if err != nil {
+		return err
+	}
+	reply.Checkpoint = t.trainer.Checkpoint()
+	a.mu.Lock()
+	delete(a.tasks, args.JobID)
+	a.mu.Unlock()
+	return nil
+}
+
+// Status implements the RPC.
+func (a *Agent) Status(args StatusArgs, reply *StatusReply) error {
+	t, err := a.get(args.JobID)
+	if err != nil {
+		return err
+	}
+	*reply = StatusReply{
+		Step:       t.trainer.Step(),
+		Workers:    t.trainer.Workers(),
+		LocalBatch: t.trainer.LocalBatch(),
+		Loss:       t.trainer.Loss(),
+		Done:       t.trainer.Step() >= t.spec.TotalIters,
+	}
+	return nil
+}
+
+// Serve answers RPCs on l until the listener closes. It blocks; run it in a
+// goroutine.
+func (a *Agent) Serve(l net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Agent", a); err != nil {
+		return err
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// Listen starts the agent on addr ("127.0.0.1:0" for an ephemeral port) and
+// returns the bound address; the accept loop runs in the background until
+// the returned stop function is called.
+func (a *Agent) Listen(addr string) (string, func(), error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	go func() { _ = a.Serve(l) }()
+	return l.Addr().String(), func() { _ = l.Close() }, nil
+}

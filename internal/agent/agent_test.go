@@ -1,0 +1,264 @@
+package agent
+
+import (
+	"math"
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/elastic"
+)
+
+func testSpec() TaskSpec {
+	return TaskSpec{
+		Dim:          4,
+		DataSeed:     11,
+		DataN:        256,
+		Noise:        0.01,
+		GlobalBatch:  32,
+		LearningRate: 0.1,
+		InitSeed:     5,
+		TotalIters:   80,
+	}
+}
+
+// fixture starts n agents on ephemeral ports and a connected controller.
+func fixture(t *testing.T, n int) (*Controller, func()) {
+	t.Helper()
+	c := NewController()
+	var stops []func()
+	for i := 0; i < n; i++ {
+		name := string(rune('A' + i))
+		a := NewAgent(name)
+		addr, stop, err := a.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stops = append(stops, stop)
+		if err := c.Connect(name, addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, func() {
+		c.Close()
+		for _, s := range stops {
+			s()
+		}
+	}
+}
+
+func TestLaunchStepStatus(t *testing.T) {
+	c, done := fixture(t, 1)
+	defer done()
+
+	rep, err := c.Launch("j1", testSpec(), "A", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != 2 || rep.LocalBatch != 16 {
+		t.Errorf("launch reply %+v want 2 workers / local batch 16", rep)
+	}
+	step, err := c.Step("j1", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Step != 10 || step.Done {
+		t.Errorf("step reply %+v want step 10, not done", step)
+	}
+	st, err := c.Status("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Step != 10 || st.Workers != 2 || st.Loss <= 0 {
+		t.Errorf("status %+v", st)
+	}
+	// Stepping past the termination condition clamps and reports done.
+	step, err = c.Step("j1", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Step != 80 || !step.Done {
+		t.Errorf("final step reply %+v want step 80, done", step)
+	}
+}
+
+func TestLaunchErrors(t *testing.T) {
+	c, done := fixture(t, 1)
+	defer done()
+	if _, err := c.Launch("j1", testSpec(), "nope", 1); err == nil {
+		t.Error("launch on unknown agent succeeded")
+	}
+	if _, err := c.Launch("j1", testSpec(), "A", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Launch("j1", testSpec(), "A", 1); err == nil {
+		t.Error("duplicate launch succeeded")
+	}
+	if _, err := c.Step("ghost", 1); err == nil {
+		t.Error("step of unknown job succeeded")
+	}
+	if _, err := c.Status("ghost"); err == nil {
+		t.Error("status of unknown job succeeded")
+	}
+	if _, err := c.Stop("ghost"); err == nil {
+		t.Error("stop of unknown job succeeded")
+	}
+	bad := testSpec()
+	bad.GlobalBatch = 0
+	if _, err := c.Launch("j2", bad, "A", 1); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+// TestRescaleAndMigratePreserveTrajectory is the §5 end-to-end check: a job
+// that is rescaled in place and then migrated to another agent finishes with
+// exactly the parameters of an undisturbed fixed-worker run.
+func TestRescaleAndMigratePreserveTrajectory(t *testing.T) {
+	c, done := fixture(t, 2)
+	defer done()
+
+	spec := testSpec()
+	if _, err := c.Launch("j1", spec, "A", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step("j1", 20); err != nil {
+		t.Fatal(err)
+	}
+	// Rescale in place 1 → 4 workers.
+	rep, err := c.Rescale("j1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != 4 || rep.Step != 20 {
+		t.Errorf("rescale reply %+v want 4 workers resuming at step 20", rep)
+	}
+	if _, err := c.Step("j1", 30); err != nil {
+		t.Fatal(err)
+	}
+	// Migrate A → B with 2 workers (checkpoint travels over RPC).
+	rep, err = c.Migrate("j1", "B", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if home, _ := c.Home("j1"); home != "B" {
+		t.Errorf("home=%s want B after migration", home)
+	}
+	if rep.Step != 50 {
+		t.Errorf("migration resumed at step %d want 50", rep.Step)
+	}
+	if _, err := c.Step("j1", 30); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := c.Stop("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Step != 80 {
+		t.Fatalf("final step %d want 80", ck.Step)
+	}
+
+	// Reference: the same task trained without any control-plane events.
+	ref, err := spec.trainer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Steps(80); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Params()
+	for i := range want {
+		if math.Abs(want[i]-ck.Params[i]) > 1e-8 {
+			t.Errorf("param %d: %v want %v (control plane perturbed training)", i, ck.Params[i], want[i])
+		}
+	}
+}
+
+func TestMLPSpecOverRPC(t *testing.T) {
+	c, done := fixture(t, 1)
+	defer done()
+	spec := testSpec()
+	spec.Hidden = 6
+	spec.TotalIters = 30
+	if _, err := c.Launch("m", spec, "A", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step("m", 30); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done {
+		t.Error("MLP task not done after its budget")
+	}
+}
+
+func TestCheckpointCloneSafetyOverStop(t *testing.T) {
+	// Stop returns a checkpoint the caller owns.
+	c, done := fixture(t, 1)
+	defer done()
+	if _, err := c.Launch("j", testSpec(), "A", 1); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := c.Stop("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := ck.Clone()
+	ck.Params[0] = 42
+	if clone.Params[0] == 42 {
+		t.Error("Clone shares storage with the checkpoint")
+	}
+	var _ elastic.Checkpoint = clone
+}
+
+func TestControllerConnectErrors(t *testing.T) {
+	c := NewController()
+	defer c.Close()
+	if err := c.Connect("X", "127.0.0.1:1"); err == nil {
+		t.Error("connect to dead address succeeded")
+	}
+	a := NewAgent("A")
+	addr, stop, err := a.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if err := c.Connect("A", addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Connect("A", addr); err == nil {
+		t.Error("duplicate connect succeeded")
+	}
+	if got := c.Agents(); len(got) != 1 || got[0] != "A" {
+		t.Errorf("Agents=%v", got)
+	}
+}
+
+// BenchmarkControlPlaneStep measures a full RPC round trip of the control
+// plane (controller → agent Step → reply), the per-decision overhead the
+// scheduler pays to drive remote workers.
+func BenchmarkControlPlaneStep(b *testing.B) {
+	a := NewAgent("bench")
+	addr, stop, err := a.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stop()
+	c := NewController()
+	defer c.Close()
+	if err := c.Connect("bench", addr); err != nil {
+		b.Fatal(err)
+	}
+	spec := testSpec()
+	spec.TotalIters = 1 << 30
+	if _, err := c.Launch("bj", spec, "bench", 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Step("bj", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package agent
+
+import (
+	"fmt"
+	"net/rpc"
+	"sort"
+	"sync"
+
+	"github.com/elasticflow/elasticflow/internal/elastic"
+)
+
+// Controller is the scheduler-side endpoint of the control plane: it tracks
+// which agent runs which job and turns scheduling decisions into
+// Launch/Stop RPCs, including cross-agent migration by checkpoint transfer
+// (§5 "sends the parameters of the running jobs to the workers based on the
+// scheduling decision and then restarts the jobs from the received
+// parameters").
+type Controller struct {
+	mu      sync.Mutex
+	clients map[string]*rpc.Client // agent name → connection
+	specs   map[string]TaskSpec    // job → spec
+	homes   map[string]string      // job → agent name
+}
+
+// NewController creates a controller with no connections.
+func NewController() *Controller {
+	return &Controller{
+		clients: make(map[string]*rpc.Client),
+		specs:   make(map[string]TaskSpec),
+		homes:   make(map[string]string),
+	}
+}
+
+// Connect dials an agent and registers it under name.
+func (c *Controller) Connect(name, addr string) error {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("agent: dialing %s at %s: %w", name, addr, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.clients[name]; ok {
+		client.Close()
+		return fmt.Errorf("agent: %s already connected", name)
+	}
+	c.clients[name] = client
+	return nil
+}
+
+// Agents returns the connected agent names, sorted.
+func (c *Controller) Agents() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.clients))
+	for n := range c.clients {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Home returns the agent currently hosting jobID.
+func (c *Controller) Home(jobID string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.homes[jobID]
+	return h, ok
+}
+
+func (c *Controller) client(agentName string) (*rpc.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cl, ok := c.clients[agentName]
+	if !ok {
+		return nil, fmt.Errorf("agent: unknown agent %q", agentName)
+	}
+	return cl, nil
+}
+
+func (c *Controller) jobClient(jobID string) (*rpc.Client, error) {
+	c.mu.Lock()
+	home, ok := c.homes[jobID]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("agent: job %q is not running anywhere", jobID)
+	}
+	return c.client(home)
+}
+
+// Launch starts a fresh job on the named agent with the given worker count.
+func (c *Controller) Launch(jobID string, spec TaskSpec, agentName string, workers int) (LaunchReply, error) {
+	return c.launch(jobID, spec, agentName, workers, nil)
+}
+
+func (c *Controller) launch(jobID string, spec TaskSpec, agentName string, workers int, resume *elastic.Checkpoint) (LaunchReply, error) {
+	cl, err := c.client(agentName)
+	if err != nil {
+		return LaunchReply{}, err
+	}
+	var reply LaunchReply
+	if err := cl.Call("Agent.Launch", LaunchArgs{JobID: jobID, Spec: spec, Workers: workers, Resume: resume}, &reply); err != nil {
+		return LaunchReply{}, err
+	}
+	c.mu.Lock()
+	c.specs[jobID] = spec
+	c.homes[jobID] = agentName
+	c.mu.Unlock()
+	return reply, nil
+}
+
+// Resume launches a job on an agent from a previously captured checkpoint
+// (e.g. one returned by Stop when the scheduler suspended the job).
+func (c *Controller) Resume(jobID string, spec TaskSpec, agentName string, workers int, ck elastic.Checkpoint) (LaunchReply, error) {
+	return c.launch(jobID, spec, agentName, workers, &ck)
+}
+
+// Rescale changes a job's worker count in place: checkpoint, relaunch on
+// the same agent from the checkpoint (§5's stop-free rescale).
+func (c *Controller) Rescale(jobID string, workers int) (LaunchReply, error) {
+	c.mu.Lock()
+	home, ok := c.homes[jobID]
+	spec := c.specs[jobID]
+	c.mu.Unlock()
+	if !ok {
+		return LaunchReply{}, fmt.Errorf("agent: job %q is not running anywhere", jobID)
+	}
+	return c.move(jobID, spec, home, home, workers)
+}
+
+// Migrate moves a job to another agent (the defragmentation path of §4.3):
+// checkpoint on the source, relaunch from the checkpoint on the target.
+func (c *Controller) Migrate(jobID, toAgent string, workers int) (LaunchReply, error) {
+	c.mu.Lock()
+	home, ok := c.homes[jobID]
+	spec := c.specs[jobID]
+	c.mu.Unlock()
+	if !ok {
+		return LaunchReply{}, fmt.Errorf("agent: job %q is not running anywhere", jobID)
+	}
+	return c.move(jobID, spec, home, toAgent, workers)
+}
+
+func (c *Controller) move(jobID string, spec TaskSpec, from, to string, workers int) (LaunchReply, error) {
+	src, err := c.client(from)
+	if err != nil {
+		return LaunchReply{}, err
+	}
+	var stopped StopReply
+	if err := src.Call("Agent.Stop", StopArgs{JobID: jobID}, &stopped); err != nil {
+		return LaunchReply{}, err
+	}
+	c.mu.Lock()
+	delete(c.homes, jobID)
+	c.mu.Unlock()
+	ck := stopped.Checkpoint
+	return c.launch(jobID, spec, to, workers, &ck)
+}
+
+// Step advances a job by up to iters iterations on its home agent.
+func (c *Controller) Step(jobID string, iters int) (StepReply, error) {
+	cl, err := c.jobClient(jobID)
+	if err != nil {
+		return StepReply{}, err
+	}
+	var reply StepReply
+	err = cl.Call("Agent.Step", StepArgs{JobID: jobID, Iters: iters}, &reply)
+	return reply, err
+}
+
+// Status queries a job on its home agent.
+func (c *Controller) Status(jobID string) (StatusReply, error) {
+	cl, err := c.jobClient(jobID)
+	if err != nil {
+		return StatusReply{}, err
+	}
+	var reply StatusReply
+	err = cl.Call("Agent.Status", StatusArgs{JobID: jobID}, &reply)
+	return reply, err
+}
+
+// Stop checkpoints and removes a job, returning its final state.
+func (c *Controller) Stop(jobID string) (elastic.Checkpoint, error) {
+	cl, err := c.jobClient(jobID)
+	if err != nil {
+		return elastic.Checkpoint{}, err
+	}
+	var reply StopReply
+	if err := cl.Call("Agent.Stop", StopArgs{JobID: jobID}, &reply); err != nil {
+		return elastic.Checkpoint{}, err
+	}
+	c.mu.Lock()
+	delete(c.homes, jobID)
+	c.mu.Unlock()
+	return reply.Checkpoint, nil
+}
+
+// Close tears down every connection.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, cl := range c.clients {
+		cl.Close()
+		delete(c.clients, name)
+	}
+}

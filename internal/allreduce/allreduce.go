@@ -1,0 +1,147 @@
+// Package allreduce implements the chunked ring all-reduce used to
+// synchronize gradients in data-parallel training — the in-process stand-in
+// for NCCL in the elastic training executor (§5). Workers are goroutines
+// connected in a logical ring by channels; the algorithm is the standard
+// reduce-scatter followed by all-gather, moving 2(n−1)/n of the buffer per
+// worker, which is exactly the volume the throughput model charges.
+package allreduce
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Group is a set of ring-connected workers that can run collective
+// operations. A Group is created for a fixed worker count; elastic rescaling
+// creates a new Group, mirroring NCCL communicator reconstruction.
+type Group struct {
+	n     int
+	links []chan []float64 // links[i]: channel from worker i to worker (i+1)%n
+}
+
+// NewGroup creates a communicator for n workers (n ≥ 1).
+func NewGroup(n int) (*Group, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("allreduce: group size %d must be ≥ 1", n)
+	}
+	g := &Group{n: n, links: make([]chan []float64, n)}
+	for i := range g.links {
+		// Buffer one message so ring steps do not deadlock.
+		g.links[i] = make(chan []float64, 1)
+	}
+	return g, nil
+}
+
+// Size returns the number of workers in the group.
+func (g *Group) Size() int { return g.n }
+
+// chunkBounds returns the [lo, hi) range of chunk c when a length-n buffer
+// is split into g.n chunks.
+func (g *Group) chunkBounds(c, n int) (int, int) {
+	c = ((c % g.n) + g.n) % g.n
+	base := n / g.n
+	rem := n % g.n
+	lo := c*base + min(c, rem)
+	size := base
+	if c < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+// AllReduce sums the buffers of all workers element-wise and leaves the
+// result in every buffer. Each worker calls AllReduce concurrently with its
+// rank and its local buffer; all buffers must have equal length. The call
+// blocks until the collective completes.
+//
+// The implementation is ring reduce-scatter + ring all-gather: in step s of
+// the first phase, worker i sends chunk (i−s) and reduces the received chunk
+// into its own buffer; after n−1 steps worker i holds the fully reduced
+// chunk (i+1); the second phase circulates the reduced chunks.
+func (g *Group) AllReduce(rank int, buf []float64) error {
+	if rank < 0 || rank >= g.n {
+		return fmt.Errorf("allreduce: rank %d out of range [0,%d)", rank, g.n)
+	}
+	if g.n == 1 {
+		return nil
+	}
+	send := g.links[rank]
+	recv := g.links[(rank-1+g.n)%g.n]
+	n := len(buf)
+
+	// Phase 1: reduce-scatter.
+	for s := 0; s < g.n-1; s++ {
+		lo, hi := g.chunkBounds(rank-s, n)
+		out := make([]float64, hi-lo)
+		copy(out, buf[lo:hi])
+		send <- out
+		in := <-recv
+		rlo, rhi := g.chunkBounds(rank-s-1, n)
+		if len(in) != rhi-rlo {
+			return fmt.Errorf("allreduce: rank %d step %d: chunk size %d want %d (mismatched buffer lengths?)", rank, s, len(in), rhi-rlo)
+		}
+		for k := range in {
+			buf[rlo+k] += in[k]
+		}
+	}
+	// Phase 2: all-gather.
+	for s := 0; s < g.n-1; s++ {
+		lo, hi := g.chunkBounds(rank+1-s, n)
+		out := make([]float64, hi-lo)
+		copy(out, buf[lo:hi])
+		send <- out
+		in := <-recv
+		rlo, rhi := g.chunkBounds(rank-s, n)
+		if len(in) != rhi-rlo {
+			return fmt.Errorf("allreduce: rank %d gather step %d: chunk size %d want %d", rank, s, len(in), rhi-rlo)
+		}
+		copy(buf[rlo:rhi], in)
+	}
+	return nil
+}
+
+// Average is AllReduce followed by division by the group size: the gradient
+// averaging step of synchronous data parallelism.
+func (g *Group) Average(rank int, buf []float64) error {
+	if err := g.AllReduce(rank, buf); err != nil {
+		return err
+	}
+	inv := 1 / float64(g.n)
+	for i := range buf {
+		buf[i] *= inv
+	}
+	return nil
+}
+
+// Run executes fn concurrently on every rank of a fresh group of size n and
+// returns the first error. It is the harness tests and the executor use to
+// drive collectives.
+func Run(n int, fn func(g *Group, rank int) error) error {
+	g, err := NewGroup(n)
+	if err != nil {
+		return err
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = fn(g, rank)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,175 @@
+package allreduce
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup(0); err == nil {
+		t.Error("zero-size group accepted")
+	}
+	if _, err := NewGroup(-3); err == nil {
+		t.Error("negative group accepted")
+	}
+}
+
+func TestSingleWorkerNoop(t *testing.T) {
+	buf := []float64{1, 2, 3}
+	err := Run(1, func(g *Group, rank int) error { return g.AllReduce(rank, buf) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []float64{1, 2, 3} {
+		if buf[i] != v {
+			t.Errorf("buf[%d]=%v want %v", i, buf[i], v)
+		}
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	g, err := NewGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AllReduce(2, []float64{1}); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if err := g.AllReduce(-1, []float64{1}); err == nil {
+		t.Error("negative rank accepted")
+	}
+}
+
+// TestAllReduceSums: every worker ends with the element-wise sum.
+func TestAllReduceSums(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 8} {
+		for _, length := range []int{1, 2, 5, 16, 1000} {
+			bufs := make([][]float64, n)
+			want := make([]float64, length)
+			rng := rand.New(rand.NewSource(int64(n*1000 + length)))
+			for r := range bufs {
+				bufs[r] = make([]float64, length)
+				for i := range bufs[r] {
+					bufs[r][i] = rng.NormFloat64()
+					want[i] += bufs[r][i]
+				}
+			}
+			err := Run(n, func(g *Group, rank int) error { return g.AllReduce(rank, bufs[rank]) })
+			if err != nil {
+				t.Fatalf("n=%d len=%d: %v", n, length, err)
+			}
+			for r := range bufs {
+				for i := range want {
+					if math.Abs(bufs[r][i]-want[i]) > 1e-9*math.Max(1, math.Abs(want[i])) {
+						t.Fatalf("n=%d len=%d rank=%d elem %d: got %v want %v", n, length, r, i, bufs[r][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAllReduceShortBuffer: buffers shorter than the worker count still
+// reduce correctly (some chunks are empty).
+func TestAllReduceShortBuffer(t *testing.T) {
+	const n = 8
+	bufs := make([][]float64, n)
+	for r := range bufs {
+		bufs[r] = []float64{float64(r), 1}
+	}
+	err := Run(n, func(g *Group, rank int) error { return g.AllReduce(rank, bufs[rank]) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range bufs {
+		if bufs[r][0] != 28 || bufs[r][1] != 8 {
+			t.Errorf("rank %d: got %v want [28 8]", r, bufs[r])
+		}
+	}
+}
+
+func TestAverage(t *testing.T) {
+	const n = 4
+	bufs := make([][]float64, n)
+	for r := range bufs {
+		bufs[r] = []float64{float64(r + 1)} // 1,2,3,4 → avg 2.5
+	}
+	err := Run(n, func(g *Group, rank int) error { return g.Average(rank, bufs[rank]) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range bufs {
+		if math.Abs(bufs[r][0]-2.5) > 1e-12 {
+			t.Errorf("rank %d: got %v want 2.5", r, bufs[r][0])
+		}
+	}
+}
+
+// TestAllReducePropertyMatchesSequentialSum is a randomized property test:
+// for any sizes and values, ring all-reduce equals the sequential sum.
+func TestAllReducePropertyMatchesSequentialSum(t *testing.T) {
+	f := func(seed int64, nRaw, lenRaw uint8) bool {
+		n := int(nRaw)%8 + 1
+		length := int(lenRaw) % 64
+		rng := rand.New(rand.NewSource(seed))
+		bufs := make([][]float64, n)
+		want := make([]float64, length)
+		for r := range bufs {
+			bufs[r] = make([]float64, length)
+			for i := range bufs[r] {
+				bufs[r][i] = rng.NormFloat64() * 100
+				want[i] += bufs[r][i]
+			}
+		}
+		if err := Run(n, func(g *Group, rank int) error { return g.AllReduce(rank, bufs[rank]) }); err != nil {
+			return false
+		}
+		for r := range bufs {
+			for i := range want {
+				if math.Abs(bufs[r][i]-want[i]) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGroupReuse: the same group can run several collectives in sequence.
+func TestGroupReuse(t *testing.T) {
+	const n = 4
+	g, err := NewGroup(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		bufs := make([][]float64, n)
+		for r := range bufs {
+			bufs[r] = []float64{1}
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				errs[rank] = g.AllReduce(rank, bufs[rank])
+			}(r)
+		}
+		wg.Wait()
+		for r := 0; r < n; r++ {
+			if errs[r] != nil {
+				t.Fatalf("round %d rank %d: %v", round, r, errs[r])
+			}
+			if bufs[r][0] != n {
+				t.Fatalf("round %d rank %d: got %v want %d", round, r, bufs[r][0], n)
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package allreduce
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Broadcast distributes root's buffer to every worker in the group by
+// passing it around the ring. All workers call Broadcast concurrently; on
+// return every buffer equals root's.
+func (g *Group) Broadcast(rank, root int, buf []float64) error {
+	if rank < 0 || rank >= g.n {
+		return fmt.Errorf("allreduce: rank %d out of range [0,%d)", rank, g.n)
+	}
+	if root < 0 || root >= g.n {
+		return fmt.Errorf("allreduce: root %d out of range [0,%d)", root, g.n)
+	}
+	if g.n == 1 {
+		return nil
+	}
+	send := g.links[rank]
+	recv := g.links[(rank-1+g.n)%g.n]
+	// Position along the ring, measured from the root.
+	pos := ((rank - root) + g.n) % g.n
+	if pos > 0 {
+		in := <-recv
+		if len(in) != len(buf) {
+			return fmt.Errorf("allreduce: broadcast size %d want %d", len(in), len(buf))
+		}
+		copy(buf, in)
+	}
+	// Forward to the next worker unless it is the last hop back to root.
+	if pos < g.n-1 {
+		out := make([]float64, len(buf))
+		copy(out, buf)
+		send <- out
+	}
+	return nil
+}
+
+// Topology describes a two-level worker layout for hierarchical collectives:
+// Nodes[i] is the number of workers on node i. Global ranks are assigned
+// node by node: node 0 holds ranks [0, Nodes[0]), node 1 the next block, and
+// so on — exactly how buddy placement lays a job out across servers.
+type Topology struct {
+	Nodes []int
+}
+
+// Workers returns the total worker count.
+func (t Topology) Workers() int {
+	n := 0
+	for _, c := range t.Nodes {
+		n += c
+	}
+	return n
+}
+
+// nodeOf returns the node index, local rank, and node-first global rank of a
+// worker.
+func (t Topology) nodeOf(rank int) (node, local, base int) {
+	for i, c := range t.Nodes {
+		if rank < base+c {
+			return i, rank - base, base
+		}
+		base += c
+	}
+	return -1, -1, -1
+}
+
+func (t Topology) validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("allreduce: empty topology")
+	}
+	for i, c := range t.Nodes {
+		if c < 1 {
+			return fmt.Errorf("allreduce: node %d has %d workers", i, c)
+		}
+	}
+	return nil
+}
+
+// Hierarchy holds the communicators of a two-level all-reduce: one ring per
+// node (the NVLink stage) and one ring across node leaders (the InfiniBand
+// stage). This is the collective whose cost the throughput estimator charges
+// (intra-server ring + inter-server ring, estimator.commTime).
+type Hierarchy struct {
+	topo    Topology
+	intra   []*Group // one per node
+	leaders *Group   // ring across node leaders (local rank 0)
+}
+
+// NewHierarchy builds communicators for the topology.
+func NewHierarchy(topo Topology) (*Hierarchy, error) {
+	if err := topo.validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{topo: topo}
+	for _, c := range topo.Nodes {
+		g, err := NewGroup(c)
+		if err != nil {
+			return nil, err
+		}
+		h.intra = append(h.intra, g)
+	}
+	leaders, err := NewGroup(len(topo.Nodes))
+	if err != nil {
+		return nil, err
+	}
+	h.leaders = leaders
+	return h, nil
+}
+
+// AllReduce sums the buffers of all workers across all nodes and leaves the
+// result everywhere: intra-node ring reduce, leader ring all-reduce,
+// intra-node broadcast — the standard hierarchical decomposition.
+func (h *Hierarchy) AllReduce(rank int, buf []float64) error {
+	node, local, _ := h.topo.nodeOf(rank)
+	if node < 0 {
+		return fmt.Errorf("allreduce: rank %d outside topology of %d workers", rank, h.topo.Workers())
+	}
+	// Stage 1: everyone on the node ends with the node-local sum.
+	if err := h.intra[node].AllReduce(local, buf); err != nil {
+		return err
+	}
+	// Stage 2: node leaders (local rank 0) combine node sums globally.
+	if local == 0 {
+		if err := h.leaders.AllReduce(node, buf); err != nil {
+			return err
+		}
+	}
+	// Stage 3: leaders broadcast the global sum within their node.
+	return h.intra[node].Broadcast(local, 0, buf)
+}
+
+// RunHierarchical executes fn on every global rank of a fresh hierarchy,
+// mirroring Run for flat groups.
+func RunHierarchical(topo Topology, fn func(h *Hierarchy, rank int) error) error {
+	h, err := NewHierarchy(topo)
+	if err != nil {
+		return err
+	}
+	n := topo.Workers()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = fn(h, rank)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package allreduce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBroadcast(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		for root := 0; root < n; root++ {
+			bufs := make([][]float64, n)
+			for r := range bufs {
+				bufs[r] = []float64{float64(r), float64(r * 2)}
+			}
+			want0, want1 := bufs[root][0], bufs[root][1]
+			err := Run(n, func(g *Group, rank int) error {
+				return g.Broadcast(rank, root, bufs[rank])
+			})
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+			for r := range bufs {
+				if bufs[r][0] != want0 || bufs[r][1] != want1 {
+					t.Fatalf("n=%d root=%d rank=%d: got %v want [%v %v]", n, root, r, bufs[r], want0, want1)
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastValidation(t *testing.T) {
+	g, err := NewGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Broadcast(5, 0, []float64{1}); err == nil {
+		t.Error("bad rank accepted")
+	}
+	if err := g.Broadcast(0, 5, []float64{1}); err == nil {
+		t.Error("bad root accepted")
+	}
+}
+
+func TestTopology(t *testing.T) {
+	topo := Topology{Nodes: []int{4, 2, 2}}
+	if topo.Workers() != 8 {
+		t.Errorf("Workers=%d", topo.Workers())
+	}
+	for _, tc := range []struct{ rank, node, local int }{
+		{0, 0, 0}, {3, 0, 3}, {4, 1, 0}, {5, 1, 1}, {6, 2, 0}, {7, 2, 1},
+	} {
+		node, local, _ := topo.nodeOf(tc.rank)
+		if node != tc.node || local != tc.local {
+			t.Errorf("nodeOf(%d) = (%d,%d) want (%d,%d)", tc.rank, node, local, tc.node, tc.local)
+		}
+	}
+	if _, err := NewHierarchy(Topology{}); err == nil {
+		t.Error("empty topology accepted")
+	}
+	if _, err := NewHierarchy(Topology{Nodes: []int{2, 0}}); err == nil {
+		t.Error("zero-worker node accepted")
+	}
+}
+
+// TestHierarchicalAllReduceSums: the two-level collective equals the flat
+// sum for assorted placement shapes (the shapes buddy placement produces).
+func TestHierarchicalAllReduceSums(t *testing.T) {
+	shapes := [][]int{{1}, {4}, {2, 2}, {4, 4}, {1, 1, 1, 1}, {4, 2, 2}, {8, 8}}
+	for _, shape := range shapes {
+		topo := Topology{Nodes: shape}
+		n := topo.Workers()
+		const length = 37
+		rng := rand.New(rand.NewSource(int64(n)))
+		bufs := make([][]float64, n)
+		want := make([]float64, length)
+		for r := range bufs {
+			bufs[r] = make([]float64, length)
+			for i := range bufs[r] {
+				bufs[r][i] = rng.NormFloat64()
+				want[i] += bufs[r][i]
+			}
+		}
+		err := RunHierarchical(topo, func(h *Hierarchy, rank int) error {
+			return h.AllReduce(rank, bufs[rank])
+		})
+		if err != nil {
+			t.Fatalf("shape %v: %v", shape, err)
+		}
+		for r := range bufs {
+			for i := range want {
+				if math.Abs(bufs[r][i]-want[i]) > 1e-9*math.Max(1, math.Abs(want[i])) {
+					t.Fatalf("shape %v rank %d elem %d: got %v want %v", shape, r, i, bufs[r][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestHierarchicalRankValidation(t *testing.T) {
+	h, err := NewHierarchy(Topology{Nodes: []int{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AllReduce(9, []float64{1}); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}
+
+// TestHierarchicalMatchesFlatProperty: hierarchical and flat all-reduce
+// agree on random shapes and values.
+func TestHierarchicalMatchesFlatProperty(t *testing.T) {
+	fn := func(seed int64, nodesRaw [3]uint8, lenRaw uint8) bool {
+		var shape []int
+		for _, v := range nodesRaw {
+			if c := int(v) % 5; c > 0 {
+				shape = append(shape, c)
+			}
+		}
+		if len(shape) == 0 {
+			shape = []int{1}
+		}
+		topo := Topology{Nodes: shape}
+		n := topo.Workers()
+		length := int(lenRaw)%50 + 1
+		rng := rand.New(rand.NewSource(seed))
+		hier := make([][]float64, n)
+		flat := make([][]float64, n)
+		for r := 0; r < n; r++ {
+			hier[r] = make([]float64, length)
+			flat[r] = make([]float64, length)
+			for i := 0; i < length; i++ {
+				v := rng.NormFloat64()
+				hier[r][i], flat[r][i] = v, v
+			}
+		}
+		if err := RunHierarchical(topo, func(h *Hierarchy, rank int) error {
+			return h.AllReduce(rank, hier[rank])
+		}); err != nil {
+			return false
+		}
+		if err := Run(n, func(g *Group, rank int) error {
+			return g.AllReduce(rank, flat[rank])
+		}); err != nil {
+			return false
+		}
+		for r := 0; r < n; r++ {
+			for i := 0; i < length; i++ {
+				if math.Abs(hier[r][i]-flat[r][i]) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/core"
+	"github.com/elasticflow/elasticflow/internal/job"
+	"github.com/elasticflow/elasticflow/internal/sched"
+	"github.com/elasticflow/elasticflow/internal/throughput"
+)
+
+func fig3Curve() throughput.Curve {
+	return throughput.MustCurve(map[int]float64{1: 1, 2: 1.5})
+}
+
+func mkJob(id string, iters, submit, deadline float64, req int) *job.Job {
+	return &job.Job{
+		ID:            id,
+		GlobalBatch:   8,
+		TotalIters:    iters,
+		SubmitTime:    submit,
+		Deadline:      deadline,
+		Class:         job.SLO,
+		Curve:         throughput.MustCurve(map[int]float64{1: 1, 2: 1.5, 4: 2}),
+		MinGPUs:       1,
+		MaxGPUs:       4,
+		RequestedGPUs: req,
+	}
+}
+
+// allSchedulers lists every baseline for interface-conformance checks.
+func allSchedulers() []sched.Scheduler {
+	return []sched.Scheduler{
+		EDF{}, Gandiva{}, Tiresias{}, Themis{}, Chronus{}, Pollux{},
+		EDFAdmission{}, EDFElastic{},
+	}
+}
+
+func TestNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range allSchedulers() {
+		n := s.Name()
+		if n == "" || seen[n] {
+			t.Errorf("scheduler name %q empty or duplicated", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestNoSchedulerOvercommits(t *testing.T) {
+	jobs := []*job.Job{
+		mkJob("a", 100, 0, 500, 4),
+		mkJob("b", 100, 1, 400, 2),
+		mkJob("c", 100, 2, 300, 1),
+		mkJob("d", 100, 3, 600, 4),
+	}
+	for _, s := range allSchedulers() {
+		dec := s.Schedule(10, jobs, 4)
+		total := 0
+		for _, g := range dec.Alloc {
+			total += g
+		}
+		if total > 4 {
+			t.Errorf("%s overcommitted %d/4 GPUs", s.Name(), total)
+		}
+	}
+}
+
+// TestEDFFailsFig3 reproduces Fig. 3(b): EDF gives job A both workers,
+// finishing it at time 2, then runs B on both workers, finishing at 4 — past
+// B's deadline of 3.5. (ElasticFlow's one-worker-each schedule meets both;
+// see the core package tests.)
+func TestEDFFailsFig3(t *testing.T) {
+	a := &job.Job{ID: "A", GlobalBatch: 1, TotalIters: 3, Deadline: 3, Class: job.SLO,
+		Curve: fig3Curve(), MinGPUs: 1, MaxGPUs: 2}
+	b := &job.Job{ID: "B", GlobalBatch: 1, TotalIters: 3, Deadline: 3.5, Class: job.SLO,
+		Curve: fig3Curve(), MinGPUs: 1, MaxGPUs: 2}
+	e := EDF{}
+	dec := e.Schedule(0, []*job.Job{a, b}, 2)
+	if dec.Alloc["A"] != 2 || dec.Alloc["B"] != 0 {
+		t.Fatalf("EDF alloc=%v want A:2 B:0", dec.Alloc)
+	}
+	// A finishes at 3/1.5 = 2; then B runs on 2 workers until 2+2 = 4.
+	aDone := a.TotalIters / a.Curve.At(2)
+	bDone := aDone + b.TotalIters/b.Curve.At(2)
+	if bDone <= b.Deadline {
+		t.Fatalf("expected B to miss its deadline under EDF, finishes at %v", bDone)
+	}
+}
+
+func TestEDFOrdersByDeadline(t *testing.T) {
+	early := mkJob("early", 10, 0, 10, 1)
+	late := mkJob("late", 10, 0, 100, 1)
+	dec := EDF{}.Schedule(0, []*job.Job{late, early}, 4)
+	// Earliest deadline gets its peak (4); the other waits.
+	if dec.Alloc["early"] != 4 || dec.Alloc["late"] != 0 {
+		t.Errorf("alloc=%v want early:4 late:0", dec.Alloc)
+	}
+}
+
+func TestGandivaFIFOAndFixed(t *testing.T) {
+	a := mkJob("a", 10, 0, 100, 2)
+	b := mkJob("b", 10, 1, 50, 4) // earlier deadline but later submission
+	dec := Gandiva{}.Schedule(2, []*job.Job{b, a}, 4)
+	if dec.Alloc["a"] != 2 {
+		t.Errorf("a got %d want its fixed request 2", dec.Alloc["a"])
+	}
+	// b's request of 4 does not fit after a's 2: it waits (no elasticity).
+	if dec.Alloc["b"] != 0 {
+		t.Errorf("b got %d want 0 (waits for its full request)", dec.Alloc["b"])
+	}
+}
+
+func TestTiresiasPrefersLowAttainedService(t *testing.T) {
+	veteran := mkJob("vet", 1e6, 0, 1e9, 4)
+	veteran.DoneIters = 5e5 // huge attained service
+	fresh := mkJob("new", 1e6, 100, 1e9, 4)
+	dec := Tiresias{QueueThresholdGPUSec: 3600}.Schedule(200, []*job.Job{veteran, fresh}, 4)
+	if dec.Alloc["new"] != 4 || dec.Alloc["vet"] != 0 {
+		t.Errorf("alloc=%v want the fresh job prioritized (LAS)", dec.Alloc)
+	}
+}
+
+func TestThemisPrefersWorstRho(t *testing.T) {
+	// starved waited long since submission; fresh just arrived.
+	starved := mkJob("starved", 100, 0, 1e9, 2)
+	fresh := mkJob("fresh", 100, 999, 1e9, 2)
+	dec := Themis{}.Schedule(1000, []*job.Job{fresh, starved}, 2)
+	if dec.Alloc["starved"] != 2 || dec.Alloc["fresh"] != 0 {
+		t.Errorf("alloc=%v want the starved job served first (finish-time fairness)", dec.Alloc)
+	}
+}
+
+func TestChronusAdmitFeasible(t *testing.T) {
+	c := Chronus{}
+	a := mkJob("a", 100, 0, 120, 2) // 100 iters at tput 1.5 ⇒ 66.7s ≤ 120 ✓
+	if !c.Admit(0, a, nil, 4) {
+		t.Error("feasible job rejected")
+	}
+	// b needs the full cluster but a holds 2 GPUs; 4-GPU replay: a then b
+	// can interleave? b: 300 iters at tput 1.5 with 2 GPUs = 200s > 150.
+	b := mkJob("b", 300, 0, 150, 2)
+	if c.Admit(0, b, []*job.Job{a}, 4) {
+		t.Error("infeasible job admitted")
+	}
+}
+
+func TestChronusBestEffortAdmitted(t *testing.T) {
+	be := mkJob("be", 1e9, 0, 0, 4)
+	be.Class = job.BestEffort
+	be.Deadline = math.Inf(1)
+	if !(Chronus{}).Admit(0, be, nil, 4) {
+		t.Error("best-effort job rejected by Chronus")
+	}
+}
+
+func TestPolluxElasticExpansion(t *testing.T) {
+	// A single job on an idle cluster should be expanded beyond its
+	// request (Pollux is elastic).
+	a := mkJob("a", 100, 0, 1e9, 1)
+	dec := Pollux{}.Schedule(0, []*job.Job{a}, 4)
+	if dec.Alloc["a"] != 4 {
+		t.Errorf("alloc=%d want 4 (goodput hill-climbing)", dec.Alloc["a"])
+	}
+}
+
+func TestPolluxSharesByMarginalGoodput(t *testing.T) {
+	good := mkJob("good", 100, 0, 1e9, 1)
+	good.Curve = throughput.MustCurve(map[int]float64{1: 1, 2: 1.95, 4: 3.8})
+	good.MaxGPUs = 4
+	poor := mkJob("poor", 100, 0, 1e9, 1)
+	poor.Curve = throughput.MustCurve(map[int]float64{1: 1, 2: 1.05, 4: 1.06})
+	poor.MaxGPUs = 4
+	// With 3 GPUs both start at 1 and only one can double: the spare GPU
+	// must go to the job with the higher marginal goodput.
+	dec := Pollux{}.Schedule(0, []*job.Job{good, poor}, 3)
+	if dec.Alloc["good"] != 2 || dec.Alloc["poor"] != 1 {
+		t.Errorf("alloc=%v want good:2 poor:1 (marginal goodput)", dec.Alloc)
+	}
+}
+
+func TestEDFAdmissionRejectsOverload(t *testing.T) {
+	// Second-resolution slots so the toy deadlines are representable.
+	s := EDFAdmission{AC: core.New(core.Options{SlotSec: 1, PowerOfTwo: true, SafetyRescales: -1})}
+	a := mkJob("a", 200, 0, 100, 4) // needs all 4 GPUs (tput 2) for 100s
+	if !s.Admit(0, a, nil, 4) {
+		t.Fatal("first job rejected")
+	}
+	b := mkJob("b", 200, 0, 100, 4)
+	if s.Admit(0, b, []*job.Job{a}, 4) {
+		t.Error("overloading job admitted despite admission control")
+	}
+}
+
+func TestEDFElasticAdmitsEverything(t *testing.T) {
+	s := EDFElastic{}
+	for i := 0; i < 5; i++ {
+		if !s.Admit(0, mkJob("x", 1e9, 0, 1, 4), nil, 1) {
+			t.Error("EDF+ES must admit unconditionally")
+		}
+	}
+}
+
+func TestRequestedClamping(t *testing.T) {
+	j := mkJob("a", 10, 0, 10, 3) // non-power-of-two request
+	if got := requested(j); got != 2 {
+		t.Errorf("requested=%d want 2 (power-of-two floor)", got)
+	}
+	j.RequestedGPUs = 0
+	if got := requested(j); got != 1 {
+		t.Errorf("requested=%d want MinGPUs=1", got)
+	}
+	j.RequestedGPUs = 64
+	if got := requested(j); got != 4 {
+		t.Errorf("requested=%d want MaxGPUs=4", got)
+	}
+}
+
+// TestGandivaTimeSlicing: under contention the packing order rotates over
+// time, so a queued job eventually runs.
+func TestGandivaTimeSlicing(t *testing.T) {
+	a := mkJob("a", 1e9, 0, 1e12, 4)
+	b := mkJob("b", 1e9, 1, 1e12, 4)
+	gv := Gandiva{TimeSliceSec: 100}
+	d0 := gv.Schedule(0, []*job.Job{a, b}, 4)
+	if d0.Alloc["a"] != 4 || d0.Alloc["b"] != 0 {
+		t.Fatalf("t=0 alloc=%v want a running", d0.Alloc)
+	}
+	if d0.Wake != 100 {
+		t.Errorf("wake=%v want next slice boundary", d0.Wake)
+	}
+	d1 := gv.Schedule(100, []*job.Job{a, b}, 4)
+	if d1.Alloc["b"] != 4 || d1.Alloc["a"] != 0 {
+		t.Errorf("t=100 alloc=%v want b running (rotation)", d1.Alloc)
+	}
+	// No contention: no wake needed.
+	d2 := gv.Schedule(0, []*job.Job{a}, 4)
+	if d2.Wake != 0 {
+		t.Errorf("uncontended wake=%v want 0", d2.Wake)
+	}
+}
+
+// TestTiresiasQueueDemotion: attained service walks a job down the queues.
+func TestTiresiasQueueDemotion(t *testing.T) {
+	ti := Tiresias{QueueThresholdGPUSec: 100, Queues: 3}
+	j := mkJob("q", 1e9, 0, 1e12, 2) // tput 1.5 at 2 GPUs
+	if got := ti.queueOf(j); got != 0 {
+		t.Errorf("fresh job queue=%d want 0", got)
+	}
+	// attained = done/1.5*2; queue 1 boundary at 100 → done 75 crosses.
+	j.DoneIters = 100
+	if got := ti.queueOf(j); got != 1 {
+		t.Errorf("queue=%d want 1 after first threshold", got)
+	}
+	// Queue 2 boundary at 800 GPU·s → done 600.
+	j.DoneIters = 700
+	if got := ti.queueOf(j); got != 2 {
+		t.Errorf("queue=%d want 2 after second threshold", got)
+	}
+	// No deeper queues exist.
+	j.DoneIters = 1e8
+	if got := ti.queueOf(j); got != 2 {
+		t.Errorf("queue=%d want 2 (last queue)", got)
+	}
+}

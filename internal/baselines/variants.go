@@ -1,0 +1,52 @@
+package baselines
+
+import (
+	"github.com/elasticflow/elasticflow/internal/core"
+	"github.com/elasticflow/elasticflow/internal/job"
+	"github.com/elasticflow/elasticflow/internal/sched"
+)
+
+// EDFAdmission is the §6.4 ablation "EDF + Admission Control": ElasticFlow's
+// Algorithm 1 decides admission, but scheduling remains plain EDF scaling.
+type EDFAdmission struct {
+	// AC performs the admission check; a default ElasticFlow instance is
+	// used when nil.
+	AC *core.ElasticFlow
+	EDF
+}
+
+// Name implements sched.Scheduler.
+func (e EDFAdmission) Name() string { return "edf+ac" }
+
+// Admit implements sched.Scheduler via Algorithm 1.
+func (e EDFAdmission) Admit(now float64, cand *job.Job, active []*job.Job, g int) bool {
+	ac := e.AC
+	if ac == nil {
+		ac = core.NewDefault()
+	}
+	return ac.Admit(now, cand, active, g)
+}
+
+// EDFElastic is the §6.4 ablation "EDF + Elastic Scaling": ElasticFlow's
+// elastic resource allocation (Algorithm 2) runs at every event, but every
+// job is admitted — deadlines are not guaranteed.
+type EDFElastic struct {
+	// EF performs the allocation; a default ElasticFlow instance is used
+	// when nil.
+	EF *core.ElasticFlow
+}
+
+// Name implements sched.Scheduler.
+func (e EDFElastic) Name() string { return "edf+es" }
+
+// Admit implements sched.Scheduler: everything is admitted.
+func (EDFElastic) Admit(float64, *job.Job, []*job.Job, int) bool { return true }
+
+// Schedule implements sched.Scheduler via Algorithm 2.
+func (e EDFElastic) Schedule(now float64, active []*job.Job, g int) sched.Decision {
+	ef := e.EF
+	if ef == nil {
+		ef = core.NewDefault()
+	}
+	return ef.Schedule(now, active, g)
+}

@@ -1,0 +1,227 @@
+// Package cluster is the full-stack orchestrator: it runs the serverless
+// platform (admission + elastic scheduling + buddy placement) side by side
+// with the worker-agent control plane (real elastic trainers over net/rpc)
+// and continuously reconciles the two — every scheduling decision becomes a
+// launch, rescale, migration or suspension of a live training job. It is
+// the composition of every box in Fig. 1.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/elasticflow/elasticflow/internal/agent"
+	"github.com/elasticflow/elasticflow/internal/elastic"
+	"github.com/elasticflow/elasticflow/internal/serverless"
+	"github.com/elasticflow/elasticflow/internal/topology"
+)
+
+// Options configures an Orchestrator.
+type Options struct {
+	// Platform configures the scheduling side. Its Observer field is
+	// reserved for the orchestrator.
+	Platform serverless.Options
+}
+
+// Orchestrator binds the platform to the agents.
+type Orchestrator struct {
+	platform *serverless.Platform
+	ctrl     *agent.Controller
+	topo     topology.Config
+
+	mu    sync.Mutex
+	specs map[string]agent.TaskSpec // jobID → training task
+	// state per job on the agent side
+	workers map[string]int                // jobID → live worker count (0 = suspended)
+	homes   map[string]string             // jobID → agent name
+	parked  map[string]elastic.Checkpoint // checkpoints of suspended jobs
+	stops   []func()
+}
+
+// New starts one in-process agent per (virtual) server, speaking net/rpc
+// over loopback TCP exactly as they would across machines, and a platform
+// whose scheduling decisions the orchestrator reconciles onto them.
+func New(opts Options) (*Orchestrator, error) {
+	if opts.Platform.Topology.Servers == 0 {
+		opts.Platform.Topology = topology.Config{Servers: 2, GPUsPerServer: 8}
+	}
+	if opts.Platform.Observer != nil {
+		return nil, fmt.Errorf("cluster: Platform.Observer is managed by the orchestrator")
+	}
+	platform, err := serverless.NewPlatform(opts.Platform)
+	if err != nil {
+		return nil, err
+	}
+	o := &Orchestrator{
+		platform: platform,
+		ctrl:     agent.NewController(),
+		topo:     opts.Platform.Topology,
+		specs:    make(map[string]agent.TaskSpec),
+		workers:  make(map[string]int),
+		homes:    make(map[string]string),
+		parked:   make(map[string]elastic.Checkpoint),
+	}
+	for i := 0; i < opts.Platform.Topology.Servers; i++ {
+		name := agentName(i)
+		a := agent.NewAgent(name)
+		addr, stop, err := a.Listen("127.0.0.1:0")
+		if err != nil {
+			o.Close()
+			return nil, err
+		}
+		o.stops = append(o.stops, stop)
+		if err := o.ctrl.Connect(name, addr); err != nil {
+			o.Close()
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+func agentName(server int) string { return fmt.Sprintf("server-%d", server) }
+
+// Platform exposes the scheduling side (submit via Submit below so the
+// training task is registered too).
+func (o *Orchestrator) Platform() *serverless.Platform { return o.platform }
+
+// Close tears down the controller connections and agents.
+func (o *Orchestrator) Close() {
+	o.ctrl.Close()
+	for _, stop := range o.stops {
+		stop()
+	}
+}
+
+// Submit sends the serverless function to the platform and registers the
+// concrete training task to run if admitted. The first reconciliation
+// launches it.
+func (o *Orchestrator) Submit(req serverless.SubmitRequest, task agent.TaskSpec) (serverless.JobStatus, error) {
+	st, err := o.platform.Submit(req)
+	if err != nil {
+		return st, err
+	}
+	if st.State == "dropped" {
+		return st, nil
+	}
+	o.mu.Lock()
+	o.specs[st.ID] = task
+	o.mu.Unlock()
+	if err := o.Reconcile(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// Reconcile drives the agent side to match the platform's current decision:
+// desired worker counts and placements become launches, in-place rescales,
+// cross-agent migrations, or suspensions (§5). It is idempotent.
+func (o *Orchestrator) Reconcile() error {
+	o.platform.Tick()
+	desired := o.platform.Allocations()
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	// Deterministic order.
+	ids := make([]string, 0, len(o.specs))
+	for id := range o.specs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	for _, id := range ids {
+		spec := o.specs[id]
+		want, active := desired[id]
+		cur := o.workers[id]
+		wantAgent := o.agentFor(id)
+		curAgent := o.homes[id]
+
+		switch {
+		case !active || want == 0:
+			// Suspended or finished on the platform: checkpoint and
+			// park the state until a restart (§5: "ElasticFlow
+			// checkpoints the parameters until it is restarted").
+			if cur > 0 {
+				ck, err := o.ctrl.Stop(id)
+				if err != nil {
+					return fmt.Errorf("cluster: suspend %s: %w", id, err)
+				}
+				o.parked[id] = ck
+				o.workers[id] = 0
+				delete(o.homes, id)
+			}
+			if !active {
+				delete(o.specs, id)
+				delete(o.parked, id)
+			}
+		case cur == 0:
+			// Fresh launch, or resume from the parked checkpoint.
+			var err error
+			if ck, suspended := o.parked[id]; suspended {
+				_, err = o.ctrl.Resume(id, spec, wantAgent, want, ck)
+			} else {
+				_, err = o.ctrl.Launch(id, spec, wantAgent, want)
+			}
+			if err != nil {
+				return fmt.Errorf("cluster: launch %s: %w", id, err)
+			}
+			delete(o.parked, id)
+			o.workers[id] = want
+			o.homes[id] = wantAgent
+		case curAgent != wantAgent:
+			if _, err := o.ctrl.Migrate(id, wantAgent, want); err != nil {
+				return fmt.Errorf("cluster: migrate %s: %w", id, err)
+			}
+			o.workers[id] = want
+			o.homes[id] = wantAgent
+		case cur != want:
+			if _, err := o.ctrl.Rescale(id, want); err != nil {
+				return fmt.Errorf("cluster: rescale %s: %w", id, err)
+			}
+			o.workers[id] = want
+		}
+	}
+	return nil
+}
+
+// agentFor maps a job's buddy placement to the agent hosting its first GPU.
+// (A multi-server block trains through its lead agent in this in-process
+// deployment; the real system would gang workers across agents.)
+func (o *Orchestrator) agentFor(id string) string {
+	if b, ok := o.platform.PlacementOf(id); ok {
+		return agentName(b.Start / o.topo.GPUsPerServer)
+	}
+	return agentName(0)
+}
+
+// Step advances every live trainer by n iterations.
+func (o *Orchestrator) Step(n int) error {
+	o.mu.Lock()
+	ids := make([]string, 0, len(o.workers))
+	for id, w := range o.workers {
+		if w > 0 {
+			ids = append(ids, id)
+		}
+	}
+	o.mu.Unlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		if _, err := o.ctrl.Step(id, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TrainingStatus reports a live job's agent-side state.
+func (o *Orchestrator) TrainingStatus(id string) (agent.StatusReply, error) {
+	return o.ctrl.Status(id)
+}
+
+// Home returns which agent currently hosts the job.
+func (o *Orchestrator) Home(id string) (string, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h, ok := o.homes[id]
+	return h, ok
+}

@@ -1,0 +1,508 @@
+// Package core implements the ElasticFlow scheduler: deadline-driven
+// admission control based on Minimum Satisfactory Share (§4.1), greedy
+// elastic resource allocation by diminishing returns (§4.2), and the
+// best-effort/soft-deadline extension (§4.4).
+//
+// The scheduler is purely algorithmic: it consumes job state and produces
+// desired worker counts. Placement is delegated to the buddy allocator
+// (package topology) and execution to the simulator or the live platform.
+package core
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"github.com/elasticflow/elasticflow/internal/job"
+	"github.com/elasticflow/elasticflow/internal/plan"
+	"github.com/elasticflow/elasticflow/internal/sched"
+)
+
+// Options configures the scheduler.
+type Options struct {
+	// SlotSec is the planning slot duration in seconds (default 60).
+	SlotSec float64
+	// PowerOfTwo restricts worker counts to powers of two so buddy
+	// placement is fragmentation-free (§4.3). Default true; the false
+	// setting runs Algorithms 1–2 with unit increments, for the ablation.
+	PowerOfTwo bool
+	// HorizonSlots caps the planning horizon for jobs without deadlines
+	// (default 7 days of slots).
+	HorizonSlots int
+	// SafetyRescales is the number of rescale overheads subtracted from
+	// each deadline during planning, absorbing the scaling costs the
+	// slot-level model does not see (default 3).
+	SafetyRescales float64
+	// Quota, when non-nil, is consulted before finally admitting a job
+	// (§4.4 "malicious users"): returning false rejects the job even when
+	// its deadline could be guaranteed.
+	Quota func(*job.Job) bool
+	// ReserveGPUs withholds capacity from admission control so that
+	// guarantees survive node failures (§4.4 "node failures"): admission
+	// plans against G−ReserveGPUs while allocation still uses everything
+	// that is up.
+	ReserveGPUs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SlotSec <= 0 {
+		o.SlotSec = 60
+	}
+	if o.HorizonSlots <= 0 {
+		o.HorizonSlots = int(7 * 24 * 3600 / o.SlotSec)
+		if o.HorizonSlots <= 0 {
+			o.HorizonSlots = 1
+		}
+		// Cap the horizon: sub-second slots would otherwise make plans
+		// enormous.
+		if o.HorizonSlots > 1<<20 {
+			o.HorizonSlots = 1 << 20
+		}
+	}
+	if o.SafetyRescales == 0 {
+		o.SafetyRescales = 3
+	}
+	return o
+}
+
+// ElasticFlow is the scheduler. It is stateless between calls apart from its
+// options: every decision is recomputed from the current job set, exactly as
+// the paper recomputes plans on every scheduling event (§4.2).
+type ElasticFlow struct {
+	opts Options
+}
+
+// New creates an ElasticFlow scheduler. The zero Options select the paper's
+// configuration: 60-second slots with power-of-two buddy-compatible
+// allocations.
+func New(opts Options) *ElasticFlow {
+	o := opts
+	if !o.PowerOfTwo {
+		// Distinguish "explicitly unit mode" only via the option the
+		// caller set; the default is power-of-two.
+	}
+	return &ElasticFlow{opts: o.withDefaults()}
+}
+
+// NewDefault returns a scheduler with the paper's default configuration.
+func NewDefault() *ElasticFlow { return New(Options{PowerOfTwo: true}) }
+
+// Name implements the scheduler interface used by the simulator.
+func (e *ElasticFlow) Name() string { return "elasticflow" }
+
+// SlotSec returns the planning slot duration.
+func (e *ElasticFlow) SlotSec() float64 { return e.opts.SlotSec }
+
+// demand converts an SLO job's state at time now into a filling demand
+// bounded by its deadline.
+func (e *ElasticFlow) demand(j *job.Job, now float64) plan.Demand {
+	d := plan.Demand{
+		Curve:     j.Curve,
+		Remaining: j.RemainingIters(),
+		MinGPUs:   j.MinGPUs,
+		MaxGPUs:   j.MaxGPUs,
+	}
+	if !j.HasDeadline() || j.Class != job.SLO {
+		return e.demandBestEffort(j)
+	}
+	safety := e.opts.SafetyRescales * j.RescaleOverheadSec
+	slots := int(math.Floor((j.Deadline - now - safety) / e.opts.SlotSec))
+	if slots < 0 {
+		slots = 0
+	}
+	if slots > e.opts.HorizonSlots {
+		slots = e.opts.HorizonSlots
+	}
+	d.DeadlineSlot = slots
+	return d
+}
+
+// demandBestEffort builds the demand of a job scheduled without a deadline
+// guarantee (§4.4): its deadline is conceptually infinite, realized as a
+// synthetic horizon of twice the time the job needs at its minimum worker
+// count (plus slack for contention), so that progressive filling yields the
+// minimum level and the greedy allocator can price marginal returns on the
+// same GPU-time scale as SLO jobs.
+func (e *ElasticFlow) demandBestEffort(j *job.Job) plan.Demand {
+	d := plan.Demand{
+		Curve:     j.Curve,
+		Remaining: j.RemainingIters(),
+		MinGPUs:   j.MinGPUs,
+		MaxGPUs:   j.MaxGPUs,
+	}
+	slots := e.opts.HorizonSlots
+	minTput := j.Curve.At(maxInt(j.MinGPUs, j.Curve.MinWorkers()))
+	if minTput > 0 {
+		need := 2*int(math.Ceil(j.RemainingIters()/(minTput*e.opts.SlotSec))) + 16
+		if need < slots {
+			slots = need
+		}
+	}
+	d.DeadlineSlot = slots
+	return d
+}
+
+// sloJobs returns the SLO jobs of active sorted by deadline (ties by ID for
+// determinism), and the best-effort/soft-deadline jobs in submission order.
+func splitJobs(active []*job.Job) (slo, be []*job.Job) {
+	for _, j := range active {
+		if j.Class == job.SLO {
+			slo = append(slo, j)
+		} else {
+			be = append(be, j)
+		}
+	}
+	sort.Slice(slo, func(i, k int) bool {
+		if slo[i].Deadline != slo[k].Deadline {
+			return slo[i].Deadline < slo[k].Deadline
+		}
+		return slo[i].ID < slo[k].ID
+	})
+	sort.Slice(be, func(i, k int) bool {
+		if be[i].SubmitTime != be[k].SubmitTime {
+			return be[i].SubmitTime < be[k].SubmitTime
+		}
+		return be[i].ID < be[k].ID
+	})
+	return slo, be
+}
+
+// Admit implements Algorithm 1. It checks whether adding cand to the active
+// SLO jobs leaves every deadline satisfiable by progressive filling in
+// deadline order; if not, cand is dropped. Best-effort and soft-deadline
+// jobs are always admitted (§4.4). The optional quota policy runs last.
+//
+// A previously admitted job whose own deadline has become unsatisfiable
+// (it runs demoted, §4.4) must not poison future admissions: the check
+// rejects cand only when cand itself cannot be satisfied or when admitting
+// cand turns a currently satisfiable job unsatisfiable.
+func (e *ElasticFlow) Admit(now float64, cand *job.Job, active []*job.Job, g int) bool {
+	if cand.Class != job.SLO {
+		return e.quotaOK(cand)
+	}
+	return e.admissible(now, cand, active, g) && e.quotaOK(cand)
+}
+
+// admissible is Admit without the operator-policy hook: the pure
+// feasibility decision of Algorithm 1.
+func (e *ElasticFlow) admissible(now float64, cand *job.Job, active []*job.Job, g int) bool {
+	// Admission plans against the failure reserve so that guarantees
+	// survive losing that much capacity (§4.4).
+	gAdmit := g - e.opts.ReserveGPUs
+	if gAdmit < 1 {
+		gAdmit = 1
+	}
+	// Pass 1: which active jobs are satisfiable today?
+	okWithout := e.feasibleSet(now, active, nil, gAdmit)
+	// Pass 2: and with the candidate added?
+	okWith := e.feasibleSet(now, active, cand, gAdmit)
+	if !okWith[cand.ID] {
+		return false
+	}
+	for id, was := range okWithout {
+		if was && !okWith[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// EarliestDeadline returns the soonest deadline admission control could
+// guarantee for cand given the currently admitted jobs — what a platform
+// offers a user whose requested deadline was rejected ("the earliest we
+// could promise is …"). Feasibility is monotone in the deadline, so the
+// answer is found by binary search over planning slots. ok is false when
+// even the planning horizon cannot fit the job.
+func (e *ElasticFlow) EarliestDeadline(now float64, cand *job.Job, active []*job.Job, g int) (float64, bool) {
+	deadlineAt := func(slots int) float64 {
+		return now + e.opts.SafetyRescales*cand.RescaleOverheadSec + float64(slots+1)*e.opts.SlotSec
+	}
+	check := func(slots int) bool {
+		c := *cand
+		c.Deadline = deadlineAt(slots)
+		return e.admissible(now, &c, active, g)
+	}
+	lo, hi := 0, e.opts.HorizonSlots
+	if !check(hi) {
+		return 0, false
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if check(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return deadlineAt(lo), true
+}
+
+// feasibleSet runs the deadline-ordered progressive filling over the SLO
+// jobs of active (plus cand when non-nil) and reports which job IDs end up
+// satisfied. Unsatisfiable jobs do not reserve capacity, mirroring their
+// demotion to best-effort in Schedule.
+func (e *ElasticFlow) feasibleSet(now float64, active []*job.Job, cand *job.Job, g int) map[string]bool {
+	jobs := active
+	if cand != nil {
+		jobs = append(append([]*job.Job{}, active...), cand)
+	}
+	slo, _ := splitJobs(jobs)
+	f := plan.NewFiller(g, e.opts.SlotSec, e.opts.PowerOfTwo)
+	out := make(map[string]bool, len(slo))
+	for _, j := range slo {
+		d := e.demand(j, now)
+		a := f.Fill(d)
+		out[j.ID] = a.Satisfied
+		switch {
+		case a.Satisfied:
+			f.Commit(a)
+		case cand == nil || j.ID != cand.ID:
+			// An already-admitted job races to its earliest finish
+			// (see allocate); admission must account for the capacity
+			// that recovery consumes.
+			f.Commit(f.FillEarliest(d, e.opts.HorizonSlots))
+		}
+	}
+	return out
+}
+
+func (e *ElasticFlow) quotaOK(j *job.Job) bool {
+	return e.opts.Quota == nil || e.opts.Quota(j)
+}
+
+// MinimumSatisfactoryShare returns the MSS plan for each active job at time
+// now: the per-slot worker counts that just meet every deadline (§4.1).
+// Jobs appear in deadline order. Unsatisfiable jobs (which admission would
+// have rejected) receive their maximal best-effort plan.
+func (e *ElasticFlow) MinimumSatisfactoryShare(now float64, active []*job.Job, g int) map[string]plan.Allocation {
+	slo, _ := splitJobs(active)
+	f := plan.NewFiller(g, e.opts.SlotSec, e.opts.PowerOfTwo)
+	out := make(map[string]plan.Allocation, len(slo))
+	for _, j := range slo {
+		a := f.Fill(e.demand(j, now))
+		f.Commit(a)
+		out[j.ID] = a
+	}
+	return out
+}
+
+// prioJob is a priority-queue entry for Algorithm 2.
+type prioJob struct {
+	j          *job.Job
+	d          plan.Demand
+	bestEffort bool            // scheduled without a deadline guarantee
+	cur        plan.Allocation // committed allocation
+	alt        plan.Allocation // probe: one level more at slot 0
+	nextStep   int             // slot-0 worker count of the probe
+	priority   float64         // GPU time saved by the probe
+	index      int
+}
+
+type prioQueue []*prioJob
+
+func (q prioQueue) Len() int            { return len(q) }
+func (q prioQueue) Less(i, k int) bool  { return q[i].priority > q[k].priority }
+func (q prioQueue) Swap(i, k int)       { q[i], q[k] = q[k], q[i]; q[i].index = i; q[k].index = k }
+func (q *prioQueue) Push(x interface{}) { p := x.(*prioJob); p.index = len(*q); *q = append(*q, p) }
+func (q *prioQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return p
+}
+
+// nextStep returns the next slot-0 worker count to probe above cur for a
+// job: the memory floor when idle, then +1 (unit mode) or ×2 (power-of-two
+// mode), capped by MaxGPUs. Returns 0 when no step exists.
+func (e *ElasticFlow) nextStep(j *job.Job, cur int) int {
+	var next int
+	switch {
+	case cur == 0:
+		next = maxInt(1, j.MinGPUs)
+		if e.opts.PowerOfTwo {
+			p := 1
+			for p < next {
+				p *= 2
+			}
+			next = p
+		}
+	case e.opts.PowerOfTwo:
+		next = cur * 2
+	default:
+		next = cur + 1
+	}
+	if j.MaxGPUs > 0 && next > j.MaxGPUs {
+		return 0
+	}
+	return next
+}
+
+// probe computes the marginal-return candidate for p's job: the current
+// plan with slot 0 raised to the next step (Algorithm 2 lines 5–10; the
+// tail is kept rather than minimally re-filled so the probe is a strict
+// improvement — see plan.RaiseSlot0). It requires p.cur to be uncommitted
+// from f during the call; the caller manages commit state. Returns false
+// when no beneficial probe exists.
+func (e *ElasticFlow) probe(f *plan.Filler, p *prioJob) bool {
+	step := e.nextStep(p.j, p.cur.GPUsAt(0))
+	if step == 0 {
+		return false
+	}
+	if step-p.cur.GPUsAt(0) > f.FreeAt(0) {
+		return false
+	}
+	alt := f.RaiseSlot0(p.d, p.cur, step)
+	if alt.GPUsAt(0) != step {
+		// The pinned level was clamped away (capacity or feasibility):
+		// no usable probe.
+		return false
+	}
+	// Line 10: only consider probes that actually finish the job earlier.
+	// When adopting the probe would rescale a running job away from its
+	// live worker count, the gain must also exceed the checkpoint/restore
+	// freeze the rescale costs — expansions that save less than they
+	// stall for are churn, and churn is what erodes deadline guarantees.
+	need := 1e-12
+	started := p.j.GPUs > 0 || p.j.DoneIters > 0
+	if started && p.cur.GPUsAt(0) == p.j.GPUs && step != p.j.GPUs {
+		need = p.j.RescaleOverheadSec
+	}
+	if !(p.cur.FinishTime(e.opts.SlotSec)-alt.FinishTime(e.opts.SlotSec) > need) {
+		return false
+	}
+	// For guaranteed jobs the probe must still satisfy the deadline.
+	if !p.bestEffort && p.cur.Satisfied && !alt.Satisfied {
+		return false
+	}
+	p.alt = alt
+	p.nextStep = step
+	p.priority = p.cur.GPUTime - alt.GPUTime
+	return true
+}
+
+// Schedule implements Algorithm 2: allocate the minimum satisfactory share
+// of every SLO job, then hand remaining capacity to the job with the
+// greatest marginal return, one step at a time, until slot 0 is full or no
+// job benefits. Best-effort jobs join the queue with an empty base
+// allocation (§4.4). The returned Decision holds each job's slot-0 worker
+// count and a wake-up time at the next planned allocation change.
+func (e *ElasticFlow) Schedule(now float64, active []*job.Job, g int) sched.Decision {
+	entries := e.allocate(now, active, g)
+	// Emit slot-0 allocations and the earliest planned change.
+	dec := sched.Decision{Alloc: make(map[string]int, len(entries))}
+	wake := math.Inf(1)
+	for _, p := range entries {
+		dec.Alloc[p.j.ID] = p.cur.GPUsAt(0)
+		if t := p.cur.FirstChangeSlot(); t > 0 {
+			if w := now + float64(t)*e.opts.SlotSec; w < wake {
+				wake = w
+			}
+		}
+	}
+	if !math.IsInf(wake, 1) {
+		dec.Wake = wake
+	}
+	return dec
+}
+
+// Plans returns the full allocation plan Algorithm 2 computes for each
+// active job: the per-slot worker counts from now until each job's planned
+// completion, including the spare-capacity expansions. Slot t of a plan
+// covers [now + t·SlotSec, now + (t+1)·SlotSec). The platform exposes this
+// for observability; Schedule's decision is exactly slot 0 of these plans.
+func (e *ElasticFlow) Plans(now float64, active []*job.Job, g int) map[string]plan.Allocation {
+	entries := e.allocate(now, active, g)
+	out := make(map[string]plan.Allocation, len(entries))
+	for _, p := range entries {
+		out[p.j.ID] = p.cur
+	}
+	return out
+}
+
+// allocate runs Algorithm 2 and returns the final per-job entries.
+func (e *ElasticFlow) allocate(now float64, active []*job.Job, g int) []*prioJob {
+	slo, be := splitJobs(active)
+	f := plan.NewFiller(g, e.opts.SlotSec, e.opts.PowerOfTwo)
+
+	entries := make([]*prioJob, 0, len(active))
+	// Lines 2–4: commit each SLO job's minimum satisfactory share, in
+	// deadline order. An admitted job whose deadline has become
+	// unsatisfiable (accumulated rescale/migration overheads ate its
+	// slack, or discretization near the deadline) races to the earliest
+	// possible finish instead: its guarantee already slipped, so the
+	// least-bad outcome is minimal lateness (§4.4 treats expired
+	// deadlines like soft deadlines — still worth finishing, and as soon
+	// as possible). The recovery plan stays ahead of best-effort work.
+	late := make([]*prioJob, 0, 2)
+	for _, j := range slo {
+		d := e.demand(j, now)
+		a := f.Fill(d)
+		if !a.Satisfied {
+			a = f.FillEarliest(d, e.opts.HorizonSlots)
+			f.Commit(a)
+			late = append(late, &prioJob{j: j, d: d, cur: a})
+			continue
+		}
+		f.Commit(a)
+		entries = append(entries, &prioJob{j: j, d: d, cur: a})
+	}
+	entries = append(entries, late...)
+	// Best-effort jobs fill after every deadline-carrying job, with their
+	// infinite deadline realized as a synthetic horizon.
+	for _, j := range be {
+		d := e.demandBestEffort(j)
+		a := f.Fill(d)
+		f.Commit(a)
+		entries = append(entries, &prioJob{j: j, d: d, cur: a, bestEffort: true})
+	}
+
+	// Lines 5–11: initial marginal returns.
+	q := &prioQueue{}
+	for _, p := range entries {
+		f.Uncommit(p.cur)
+		ok := e.probe(f, p)
+		f.Commit(p.cur)
+		if ok {
+			heap.Push(q, p)
+		}
+	}
+
+	// Lines 12–24: greedy adoption with lazy re-evaluation. Each adoption
+	// strictly increases committed slot-0 usage, bounding the loop.
+	for q.Len() > 0 && f.FreeAt(0) > 0 {
+		p := heap.Pop(q).(*prioJob)
+		// Re-validate against current usage (other adoptions may have
+		// consumed the capacity this probe assumed).
+		f.Uncommit(p.cur)
+		if !e.probe(f, p) {
+			f.Commit(p.cur)
+			continue
+		}
+		if q.Len() > 0 && p.priority < (*q)[0].priority {
+			// Stale ordering: someone else is now better; requeue.
+			f.Commit(p.cur)
+			heap.Push(q, p)
+			continue
+		}
+		// Adopt the probe.
+		p.cur = p.alt
+		f.Commit(p.cur)
+		// Compute the next probe for this job.
+		f.Uncommit(p.cur)
+		ok := e.probe(f, p)
+		f.Commit(p.cur)
+		if ok {
+			heap.Push(q, p)
+		}
+	}
+	return entries
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

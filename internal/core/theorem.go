@@ -1,0 +1,34 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/elasticflow/elasticflow/internal/job"
+)
+
+// LinearFeasible implements Theorem 1 of §4.1: for jobs with linear scaling
+// curves T_i(x) = k_i·x, an allocation guaranteeing every deadline exists if
+// and only if, with jobs sorted by deadline,
+//
+//	∀i:  Σ_{j ≤ i} M_j/k_j  ≤  G · (D_i − now).
+//
+// k_i is read from the curve's unit point (T_i(1)); the function is only
+// meaningful for linear curves, and exists both as executable documentation
+// of the theorem and as the oracle the core tests compare progressive
+// filling against.
+func LinearFeasible(now float64, jobs []*job.Job, g int) bool {
+	sorted := append([]*job.Job{}, jobs...)
+	sort.Slice(sorted, func(i, k int) bool { return sorted[i].Deadline < sorted[k].Deadline })
+	gpuTime := 0.0
+	for _, j := range sorted {
+		k := j.Curve.At(1)
+		if k <= 0 {
+			return false
+		}
+		gpuTime += j.RemainingIters() / k
+		if gpuTime > float64(g)*(j.Deadline-now)+1e-9 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,53 @@
+package elastic
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Encode serializes the checkpoint with encoding/gob — the wire/disk format
+// used when a suspended job's state outlives its workers (§5: "ElasticFlow
+// checkpoints the parameters until it is restarted").
+func (c Checkpoint) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(c)
+}
+
+// ReadCheckpoint deserializes a checkpoint written by Encode.
+func ReadCheckpoint(r io.Reader) (Checkpoint, error) {
+	var c Checkpoint
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return Checkpoint{}, fmt.Errorf("elastic: decoding checkpoint: %w", err)
+	}
+	return c, nil
+}
+
+// SaveFile writes the checkpoint to a file, atomically via a temp file.
+func (c Checkpoint) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := c.Encode(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpointFile reads a checkpoint written by SaveFile.
+func LoadCheckpointFile(path string) (Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}

@@ -1,0 +1,275 @@
+// Package elastic is the elastic training executor (§5): a synchronous
+// data-parallel SGD engine whose worker count can change between iterations
+// without perturbing the training trajectory. Workers are goroutines that
+// compute gradients on their shard of the global batch and average them with
+// the ring all-reduce of package allreduce; rescaling checkpoints the
+// parameters, rebuilds the communicator for the new worker count, recomputes
+// the local batch size (global batch stays constant, §5), and resumes from
+// the checkpoint — the stop-free scaling discipline of the prototype.
+package elastic
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/elasticflow/elasticflow/internal/allreduce"
+)
+
+// Model is a differentiable model trained by the executor. Implementations
+// must be pure functions of (params, examples): the executor owns the
+// parameter vector.
+type Model interface {
+	// NumParams returns the parameter vector length.
+	NumParams() int
+	// Gradient accumulates into grad the average loss gradient of the
+	// examples at params. grad has length NumParams and arrives zeroed.
+	Gradient(params []float64, xs [][]float64, ys []float64, grad []float64)
+	// Loss returns the average loss of the examples at params.
+	Loss(params []float64, xs [][]float64, ys []float64) float64
+	// Init returns an initial parameter vector drawn from rng.
+	Init(rng *rand.Rand) []float64
+}
+
+// Dataset is an in-memory training set.
+type Dataset struct {
+	Xs [][]float64
+	Ys []float64
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.Xs) }
+
+// SyntheticRegression builds a linear-regression dataset y = w·x + b + noise
+// with a deterministic generator.
+func SyntheticRegression(seed int64, n, dim int, noise float64) (*Dataset, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, dim+1) // weights + bias
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	d := &Dataset{Xs: make([][]float64, n), Ys: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim)
+		y := w[dim] // bias
+		for k := 0; k < dim; k++ {
+			x[k] = rng.NormFloat64()
+			y += w[k] * x[k]
+		}
+		d.Xs[i] = x
+		d.Ys[i] = y + noise*rng.NormFloat64()
+	}
+	return d, w
+}
+
+// Checkpoint is the serializable training state exchanged during rescaling
+// (and, in the real system, shipped between machines).
+type Checkpoint struct {
+	Params []float64
+	Step   int
+}
+
+// Clone deep-copies the checkpoint.
+func (c Checkpoint) Clone() Checkpoint {
+	p := make([]float64, len(c.Params))
+	copy(p, c.Params)
+	return Checkpoint{Params: p, Step: c.Step}
+}
+
+// Config configures a Trainer.
+type Config struct {
+	Model Model
+	Data  *Dataset
+	// GlobalBatch is the user-specified global batch size; it never
+	// changes across rescales (§5). Must be divisible by every worker
+	// count used.
+	GlobalBatch int
+	// LearningRate is the SGD step size.
+	LearningRate float64
+	// Workers is the initial worker count.
+	Workers int
+	// WorkersPerNode, when positive, groups workers onto nodes of that
+	// size and synchronizes gradients with the hierarchical all-reduce
+	// (intra-node ring + leader ring), matching how buddy placement lays
+	// a job out across servers. Zero uses a single flat ring.
+	WorkersPerNode int
+	// Seed initializes the parameters.
+	Seed int64
+}
+
+// Trainer runs elastic data-parallel SGD.
+type Trainer struct {
+	cfg      Config
+	params   []float64
+	step     int
+	workers  int
+	rescales int
+}
+
+// New validates cfg and creates a trainer with freshly initialized
+// parameters.
+func New(cfg Config) (*Trainer, error) {
+	switch {
+	case cfg.Model == nil:
+		return nil, errors.New("elastic: nil model")
+	case cfg.Data == nil || cfg.Data.Len() == 0:
+		return nil, errors.New("elastic: empty dataset")
+	case cfg.GlobalBatch <= 0:
+		return nil, fmt.Errorf("elastic: global batch %d must be positive", cfg.GlobalBatch)
+	case cfg.GlobalBatch > cfg.Data.Len():
+		return nil, fmt.Errorf("elastic: global batch %d exceeds dataset size %d", cfg.GlobalBatch, cfg.Data.Len())
+	case cfg.LearningRate <= 0:
+		return nil, fmt.Errorf("elastic: learning rate %g must be positive", cfg.LearningRate)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.GlobalBatch%cfg.Workers != 0 {
+		return nil, fmt.Errorf("elastic: %d workers do not divide global batch %d", cfg.Workers, cfg.GlobalBatch)
+	}
+	t := &Trainer{
+		cfg:     cfg,
+		params:  cfg.Model.Init(rand.New(rand.NewSource(cfg.Seed))),
+		workers: cfg.Workers,
+	}
+	if len(t.params) != cfg.Model.NumParams() {
+		return nil, fmt.Errorf("elastic: model Init returned %d params, want %d", len(t.params), cfg.Model.NumParams())
+	}
+	return t, nil
+}
+
+// Workers returns the current worker count.
+func (t *Trainer) Workers() int { return t.workers }
+
+// LocalBatch returns the per-worker batch size (global batch divided by the
+// worker count, the quantity ElasticFlow derives for the user, §3.1).
+func (t *Trainer) LocalBatch() int { return t.cfg.GlobalBatch / t.workers }
+
+// Step returns the number of completed iterations.
+func (t *Trainer) Step() int { return t.step }
+
+// Rescales returns how many rescale events have occurred.
+func (t *Trainer) Rescales() int { return t.rescales }
+
+// Params returns a copy of the current parameters.
+func (t *Trainer) Params() []float64 {
+	out := make([]float64, len(t.params))
+	copy(out, t.params)
+	return out
+}
+
+// Checkpoint captures the current training state.
+func (t *Trainer) Checkpoint() Checkpoint {
+	return Checkpoint{Params: t.Params(), Step: t.step}
+}
+
+// Restore resumes from a checkpoint.
+func (t *Trainer) Restore(c Checkpoint) error {
+	if len(c.Params) != t.cfg.Model.NumParams() {
+		return fmt.Errorf("elastic: checkpoint has %d params, model needs %d", len(c.Params), t.cfg.Model.NumParams())
+	}
+	t.params = append(t.params[:0:0], c.Params...)
+	t.step = c.Step
+	return nil
+}
+
+// Rescale changes the worker count in the stop-free manner of §5:
+// checkpoint, rebuild the communicator, recompute the local batch, restore.
+// The returned checkpoint is the state the new workers start from.
+func (t *Trainer) Rescale(workers int) (Checkpoint, error) {
+	if workers <= 0 {
+		return Checkpoint{}, fmt.Errorf("elastic: worker count %d must be positive", workers)
+	}
+	if t.cfg.GlobalBatch%workers != 0 {
+		return Checkpoint{}, fmt.Errorf("elastic: %d workers do not divide global batch %d", workers, t.cfg.GlobalBatch)
+	}
+	ck := t.Checkpoint()
+	t.workers = workers
+	t.rescales++
+	return ck, nil
+}
+
+// batchIndex returns the dataset index of sample i of iteration step's
+// global batch. The mapping depends only on (step, i), never on the worker
+// count, which is what makes training trajectories invariant under
+// rescaling.
+func (t *Trainer) batchIndex(step, i int) int {
+	return (step*t.cfg.GlobalBatch + i) % t.cfg.Data.Len()
+}
+
+// Steps runs n synchronous data-parallel iterations with the current worker
+// count. Every worker computes the average gradient of its contiguous shard
+// of the global batch, the shards are averaged with ring all-reduce, and all
+// workers apply the identical update.
+func (t *Trainer) Steps(n int) error {
+	for k := 0; k < n; k++ {
+		if err := t.oneStep(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Trainer) oneStep() error {
+	w := t.workers
+	local := t.cfg.GlobalBatch / w
+	grads := make([][]float64, w)
+	worker := func(average func(rank int, buf []float64) error, rank int) error {
+		xs := make([][]float64, local)
+		ys := make([]float64, local)
+		for i := 0; i < local; i++ {
+			idx := t.batchIndex(t.step, rank*local+i)
+			xs[i] = t.cfg.Data.Xs[idx]
+			ys[i] = t.cfg.Data.Ys[idx]
+		}
+		grad := make([]float64, t.cfg.Model.NumParams())
+		t.cfg.Model.Gradient(t.params, xs, ys, grad)
+		if err := average(rank, grad); err != nil {
+			return err
+		}
+		grads[rank] = grad
+		return nil
+	}
+	var err error
+	if per := t.cfg.WorkersPerNode; per > 0 && w > per {
+		// Hierarchical synchronization across the node layout buddy
+		// placement implies.
+		topo := allreduce.Topology{}
+		for left := w; left > 0; left -= per {
+			n := per
+			if left < per {
+				n = left
+			}
+			topo.Nodes = append(topo.Nodes, n)
+		}
+		inv := 1 / float64(w)
+		err = allreduce.RunHierarchical(topo, func(h *allreduce.Hierarchy, rank int) error {
+			return worker(func(r int, buf []float64) error {
+				if err := h.AllReduce(r, buf); err != nil {
+					return err
+				}
+				for i := range buf {
+					buf[i] *= inv
+				}
+				return nil
+			}, rank)
+		})
+	} else {
+		err = allreduce.Run(w, func(g *allreduce.Group, rank int) error {
+			return worker(g.Average, rank)
+		})
+	}
+	if err != nil {
+		return err
+	}
+	for i := range t.params {
+		t.params[i] -= t.cfg.LearningRate * grads[0][i]
+	}
+	t.step++
+	return nil
+}
+
+// Loss evaluates the model on the full dataset.
+func (t *Trainer) Loss() float64 {
+	return t.cfg.Model.Loss(t.params, t.cfg.Data.Xs, t.cfg.Data.Ys)
+}

@@ -1,0 +1,132 @@
+package elastic
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LinearRegression is mean-squared-error linear regression with a bias term:
+// the simplest model exercising the executor end to end.
+type LinearRegression struct {
+	// Dim is the input feature dimension; the parameter vector has
+	// Dim+1 entries (weights then bias).
+	Dim int
+}
+
+// NumParams implements Model.
+func (m LinearRegression) NumParams() int { return m.Dim + 1 }
+
+// Init implements Model.
+func (m LinearRegression) Init(rng *rand.Rand) []float64 {
+	p := make([]float64, m.NumParams())
+	for i := range p {
+		p[i] = 0.1 * rng.NormFloat64()
+	}
+	return p
+}
+
+func (m LinearRegression) predict(params, x []float64) float64 {
+	y := params[m.Dim]
+	for k := 0; k < m.Dim; k++ {
+		y += params[k] * x[k]
+	}
+	return y
+}
+
+// Gradient implements Model: ∇ of ½·mean((ŷ−y)²).
+func (m LinearRegression) Gradient(params []float64, xs [][]float64, ys []float64, grad []float64) {
+	inv := 1 / float64(len(xs))
+	for i, x := range xs {
+		e := m.predict(params, x) - ys[i]
+		for k := 0; k < m.Dim; k++ {
+			grad[k] += inv * e * x[k]
+		}
+		grad[m.Dim] += inv * e
+	}
+}
+
+// Loss implements Model.
+func (m LinearRegression) Loss(params []float64, xs [][]float64, ys []float64) float64 {
+	s := 0.0
+	for i, x := range xs {
+		e := m.predict(params, x) - ys[i]
+		s += 0.5 * e * e
+	}
+	return s / float64(len(xs))
+}
+
+// MLP is a one-hidden-layer tanh network with a scalar output trained with
+// mean squared error — a small nonlinear model for executor tests.
+type MLP struct {
+	// Dim is the input dimension, Hidden the hidden width.
+	Dim, Hidden int
+}
+
+// NumParams implements Model: Dim·Hidden + Hidden (first layer) + Hidden + 1
+// (output layer).
+func (m MLP) NumParams() int { return m.Dim*m.Hidden + m.Hidden + m.Hidden + 1 }
+
+// Init implements Model.
+func (m MLP) Init(rng *rand.Rand) []float64 {
+	p := make([]float64, m.NumParams())
+	scale := 1 / math.Sqrt(float64(m.Dim))
+	for i := range p {
+		p[i] = scale * rng.NormFloat64()
+	}
+	return p
+}
+
+// layout: w1[Dim][Hidden], b1[Hidden], w2[Hidden], b2.
+func (m MLP) unpack(p []float64) (w1, b1, w2 []float64, b2 float64) {
+	w1 = p[:m.Dim*m.Hidden]
+	b1 = p[m.Dim*m.Hidden : m.Dim*m.Hidden+m.Hidden]
+	w2 = p[m.Dim*m.Hidden+m.Hidden : m.Dim*m.Hidden+2*m.Hidden]
+	b2 = p[len(p)-1]
+	return
+}
+
+func (m MLP) forward(p, x []float64, hidden []float64) float64 {
+	w1, b1, w2, b2 := m.unpack(p)
+	y := b2
+	for h := 0; h < m.Hidden; h++ {
+		z := b1[h]
+		for k := 0; k < m.Dim; k++ {
+			z += w1[k*m.Hidden+h] * x[k]
+		}
+		hidden[h] = math.Tanh(z)
+		y += w2[h] * hidden[h]
+	}
+	return y
+}
+
+// Gradient implements Model by backpropagation of ½·mean((ŷ−y)²).
+func (m MLP) Gradient(params []float64, xs [][]float64, ys []float64, grad []float64) {
+	_, _, w2, _ := m.unpack(params)
+	gw1, gb1, gw2 := grad[:m.Dim*m.Hidden], grad[m.Dim*m.Hidden:m.Dim*m.Hidden+m.Hidden], grad[m.Dim*m.Hidden+m.Hidden:m.Dim*m.Hidden+2*m.Hidden]
+	hidden := make([]float64, m.Hidden)
+	inv := 1 / float64(len(xs))
+	for i, x := range xs {
+		yhat := m.forward(params, x, hidden)
+		e := inv * (yhat - ys[i])
+		grad[len(grad)-1] += e // b2
+		for h := 0; h < m.Hidden; h++ {
+			gw2[h] += e * hidden[h]
+			dh := e * w2[h] * (1 - hidden[h]*hidden[h])
+			gb1[h] += dh
+			for k := 0; k < m.Dim; k++ {
+				gw1[k*m.Hidden+h] += dh * x[k]
+			}
+		}
+	}
+}
+
+// Loss implements Model.
+func (m MLP) Loss(params []float64, xs [][]float64, ys []float64) float64 {
+	hidden := make([]float64, m.Hidden)
+	s := 0.0
+	for i, x := range xs {
+		e := m.forward(params, x, hidden) - ys[i]
+		s += 0.5 * e * e
+	}
+	return s / float64(len(xs))
+}

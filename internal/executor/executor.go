@@ -1,0 +1,150 @@
+// Package executor bridges the scheduler and the elastic training engine:
+// it is the "elastic training executor" slot of Fig. 1, the plugged-in
+// component that turns worker-count decisions into live training. A Pool
+// holds one elastic.Trainer per job; Apply translates a scheduling decision
+// into checkpoint-based rescales (§5), and Step advances every running
+// trainer, feeding real progress back into the jobs the scheduler sees.
+package executor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/elasticflow/elasticflow/internal/elastic"
+	"github.com/elasticflow/elasticflow/internal/job"
+)
+
+// Task pairs a scheduled job with its live trainer.
+type Task struct {
+	Job     *job.Job
+	Trainer *elastic.Trainer
+}
+
+// Pool executes scheduling decisions on real trainers. Methods are safe for
+// concurrent use.
+type Pool struct {
+	mu    sync.Mutex
+	tasks map[string]*Task
+}
+
+// NewPool creates an empty pool.
+func NewPool() *Pool {
+	return &Pool{tasks: make(map[string]*Task)}
+}
+
+// Add registers a job with its training configuration. The configuration's
+// global batch must match the job's (the platform derives local batches from
+// the job's global batch, §3.1).
+func (p *Pool) Add(j *job.Job, cfg elastic.Config) error {
+	if cfg.GlobalBatch != j.GlobalBatch {
+		return fmt.Errorf("executor: trainer global batch %d != job %s global batch %d", cfg.GlobalBatch, j.ID, j.GlobalBatch)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	tr, err := elastic.New(cfg)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.tasks[j.ID]; ok {
+		return fmt.Errorf("executor: job %s already registered", j.ID)
+	}
+	p.tasks[j.ID] = &Task{Job: j, Trainer: tr}
+	return nil
+}
+
+// Remove drops a job's trainer (completion or cancellation).
+func (p *Pool) Remove(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.tasks, id)
+}
+
+// Task returns the task for a job ID.
+func (p *Pool) Task(id string) (*Task, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.tasks[id]
+	return t, ok
+}
+
+// IDs returns registered job IDs, sorted.
+func (p *Pool) IDs() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]string, 0, len(p.tasks))
+	for id := range p.tasks {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Apply enacts a scheduling decision: every job whose desired worker count
+// differs from its trainer's is checkpointed and rescaled (a count of zero
+// suspends the job — its state persists in the trainer, mirroring the
+// prototype's checkpoint-until-restart behaviour, §5). It returns the number
+// of rescale events performed.
+func (p *Pool) Apply(alloc map[string]int) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rescales := 0
+	for id, t := range p.tasks {
+		desired := alloc[id]
+		t.Job.GPUs = desired
+		if desired <= 0 {
+			// Suspended: parameters stay checkpointed in the trainer.
+			continue
+		}
+		if desired != t.Trainer.Workers() {
+			if _, err := t.Trainer.Rescale(desired); err != nil {
+				return rescales, fmt.Errorf("executor: job %s: %w", id, err)
+			}
+			rescales++
+		}
+	}
+	return rescales, nil
+}
+
+// Step advances every running (non-suspended, unfinished) trainer by n
+// synchronous iterations, propagating progress into the jobs. Trainers stop
+// early at their job's termination condition.
+func (p *Pool) Step(n int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, t := range p.tasks {
+		if t.Job.GPUs <= 0 || t.Job.Done() {
+			continue
+		}
+		steps := n
+		if remaining := int(t.Job.TotalIters) - t.Trainer.Step(); steps > remaining {
+			steps = remaining
+		}
+		if steps <= 0 {
+			continue
+		}
+		if err := t.Trainer.Steps(steps); err != nil {
+			return fmt.Errorf("executor: job %s: %w", id, err)
+		}
+		t.Job.DoneIters = float64(t.Trainer.Step())
+	}
+	return nil
+}
+
+// Finished returns the IDs of jobs that reached their termination condition,
+// sorted.
+func (p *Pool) Finished() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var ids []string
+	for id, t := range p.tasks {
+		if t.Job.Done() {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,186 @@
+package executor
+
+import (
+	"math"
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/core"
+	"github.com/elasticflow/elasticflow/internal/elastic"
+	"github.com/elasticflow/elasticflow/internal/job"
+	"github.com/elasticflow/elasticflow/internal/throughput"
+)
+
+func mkJob(id string, iters float64) *job.Job {
+	return &job.Job{
+		ID:          id,
+		GlobalBatch: 64,
+		TotalIters:  iters,
+		Deadline:    1e9,
+		Class:       job.SLO,
+		Curve:       throughput.MustCurve(map[int]float64{1: 1, 2: 1.8, 4: 3, 8: 4.5}),
+		MinGPUs:     1,
+		MaxGPUs:     8,
+	}
+}
+
+func mkCfg(seed int64) elastic.Config {
+	data, _ := elastic.SyntheticRegression(seed, 256, 4, 0.01)
+	return elastic.Config{
+		Model:        elastic.LinearRegression{Dim: 4},
+		Data:         data,
+		GlobalBatch:  64,
+		LearningRate: 0.1,
+		Workers:      1,
+		Seed:         seed,
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	p := NewPool()
+	j := mkJob("a", 100)
+	cfg := mkCfg(1)
+	cfg.GlobalBatch = 32 // mismatch
+	if err := p.Add(j, cfg); err == nil {
+		t.Error("global-batch mismatch accepted")
+	}
+	cfg.GlobalBatch = 64
+	if err := p.Add(j, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(j, cfg); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+func TestApplyRescalesAndSuspends(t *testing.T) {
+	p := NewPool()
+	j := mkJob("a", 100)
+	if err := p.Add(j, mkCfg(2)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.Apply(map[string]int{"a": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("rescales=%d want 1", n)
+	}
+	task, _ := p.Task("a")
+	if task.Trainer.Workers() != 4 || task.Trainer.LocalBatch() != 16 {
+		t.Errorf("workers=%d local=%d want 4/16", task.Trainer.Workers(), task.Trainer.LocalBatch())
+	}
+	// Suspend: worker state persists, no rescale counted.
+	n, err = p.Apply(map[string]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("suspension counted as rescale")
+	}
+	if j.GPUs != 0 {
+		t.Errorf("job GPUs=%d want 0 after suspension", j.GPUs)
+	}
+	// Suspended jobs make no progress.
+	if err := p.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	if j.DoneIters != 0 {
+		t.Errorf("suspended job progressed: %v", j.DoneIters)
+	}
+}
+
+func TestStepPropagatesProgressAndStopsAtTermination(t *testing.T) {
+	p := NewPool()
+	j := mkJob("a", 25)
+	if err := p.Add(j, mkCfg(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply(map[string]int{"a": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	if j.DoneIters != 10 {
+		t.Errorf("DoneIters=%v want 10", j.DoneIters)
+	}
+	// Overshooting steps clamps at the termination condition.
+	if err := p.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	if j.DoneIters != 25 {
+		t.Errorf("DoneIters=%v want 25 (termination condition)", j.DoneIters)
+	}
+	if got := p.Finished(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("Finished=%v want [a]", got)
+	}
+}
+
+// TestSchedulerDrivesRealTraining is the integration check: ElasticFlow's
+// decisions drive real elastic trainers; rescales never perturb the training
+// trajectory versus a fixed-worker reference.
+func TestSchedulerDrivesRealTraining(t *testing.T) {
+	ef := core.New(core.Options{SlotSec: 1, PowerOfTwo: true, SafetyRescales: -1})
+	pool := NewPool()
+	jobs := []*job.Job{mkJob("a", 60), mkJob("b", 60)}
+	for i, j := range jobs {
+		if err := pool.Add(j, mkCfg(int64(10+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	totalRescales := 0
+	for round := 0; len(pool.Finished()) < len(jobs) && round < 100; round++ {
+		var active []*job.Job
+		for _, j := range jobs {
+			if !j.Done() {
+				active = append(active, j)
+			}
+		}
+		dec := ef.Schedule(float64(round), active, 8)
+		n, err := pool.Apply(dec.Alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalRescales += n
+		if err := pool.Step(5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(pool.Finished()) != 2 {
+		t.Fatalf("finished=%v want both jobs", pool.Finished())
+	}
+
+	// Reference: job a's model trained with a fixed worker count.
+	ref, err := elastic.New(mkCfg(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Steps(60); err != nil {
+		t.Fatal(err)
+	}
+	taskA, _ := pool.Task("a")
+	want := ref.Params()
+	got := taskA.Trainer.Params()
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-8 {
+			t.Errorf("param %d: scheduled training %v != fixed reference %v", i, got[i], want[i])
+		}
+	}
+	if totalRescales == 0 {
+		t.Log("warning: no rescale happened; the integration exercised nothing elastic")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	p := NewPool()
+	if err := p.Add(mkJob("a", 10), mkCfg(5)); err != nil {
+		t.Fatal(err)
+	}
+	p.Remove("a")
+	if _, ok := p.Task("a"); ok {
+		t.Error("task still present after Remove")
+	}
+	if len(p.IDs()) != 0 {
+		t.Error("IDs non-empty after Remove")
+	}
+}

@@ -1,0 +1,108 @@
+package executor
+
+import (
+	"testing"
+	"time"
+
+	"github.com/elasticflow/elasticflow/internal/elastic"
+	"github.com/elasticflow/elasticflow/internal/serverless"
+	"github.com/elasticflow/elasticflow/internal/topology"
+)
+
+// TestPlatformDrivesExecutor closes the Fig. 1 loop end to end: the
+// serverless platform admits and elastically scales jobs; its observer hook
+// pushes every allocation snapshot into the executor pool, whose real
+// trainers rescale accordingly and make actual training progress.
+func TestPlatformDrivesExecutor(t *testing.T) {
+	pool := NewPool()
+	clock := time.Unix(0, 0)
+	platform, err := serverless.NewPlatform(serverless.Options{
+		Topology: topology.Config{Servers: 2, GPUsPerServer: 8},
+		Clock:    func() time.Time { return clock },
+		Observer: func(alloc map[string]int) {
+			// The pool tolerates allocations for jobs it does not
+			// (yet) host; registration happens after Submit returns.
+			if _, err := pool.Apply(alloc); err != nil {
+				t.Errorf("apply: %v", err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Submit two serverless functions and register trainers for them. The
+	// platform-side iteration budgets are long-lived; the real trainers
+	// carry the short 50-step budget, since actual training progress is
+	// what this test observes.
+	var ids []string
+	for i, req := range []serverless.SubmitRequest{
+		{Model: "resnet50", GlobalBatch: 64, Iterations: 1e7, DeadlineSeconds: 1e6},
+		{Model: "bert", GlobalBatch: 64, Iterations: 1e7, DeadlineSeconds: 1e6},
+	} {
+		st, err := platform.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "dropped" {
+			t.Fatalf("job %d dropped", i)
+		}
+		ids = append(ids, st.ID)
+		jobRef, ok := platformJob(t, pool, platform, st.ID, int64(i))
+		if !ok {
+			t.Fatalf("job %s not registered", st.ID)
+		}
+		_ = jobRef
+	}
+	// Pull the current allocation so the just-registered trainers pick up
+	// their worker counts (the observer fired before registration).
+	if _, err := pool.Apply(platform.Allocations()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive training while the platform reschedules.
+	for round := 0; round < 20 && len(pool.Finished()) < len(ids); round++ {
+		clock = clock.Add(30 * time.Second)
+		platform.Tick()
+		if err := pool.Step(5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(pool.Finished()) != len(ids) {
+		t.Fatalf("finished %v want %v", pool.Finished(), ids)
+	}
+	for _, id := range ids {
+		task, ok := pool.Task(id)
+		if !ok {
+			t.Fatalf("missing task %s", id)
+		}
+		if task.Trainer.Step() != 50 {
+			t.Errorf("%s trained %d steps want 50", id, task.Trainer.Step())
+		}
+		if task.Trainer.Workers() <= 0 {
+			t.Errorf("%s has %d workers", id, task.Trainer.Workers())
+		}
+	}
+}
+
+// platformJob registers a trainer for the platform job, with a global batch
+// matching the submitted function.
+func platformJob(t *testing.T, pool *Pool, platform *serverless.Platform, id string, seed int64) (string, bool) {
+	t.Helper()
+	st, err := platform.Get(id)
+	if err != nil {
+		return "", false
+	}
+	data, _ := elastic.SyntheticRegression(seed, 256, 4, 0.01)
+	j := mkJob(id, 50)
+	j.GlobalBatch = st.GlobalBatch
+	err = pool.Add(j, elastic.Config{
+		Model:        elastic.LinearRegression{Dim: 4},
+		Data:         data,
+		GlobalBatch:  st.GlobalBatch,
+		LearningRate: 0.1,
+		Workers:      1,
+		Seed:         seed,
+	})
+	return id, err == nil
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/elasticflow/elasticflow/internal/core"
+	"github.com/elasticflow/elasticflow/internal/sim"
+	"github.com/elasticflow/elasticflow/internal/throughput"
+	"github.com/elasticflow/elasticflow/internal/topology"
+	"github.com/elasticflow/elasticflow/internal/trace"
+)
+
+// Ablation experiments beyond the paper's figures, probing the design
+// choices DESIGN.md calls out. IDs: abl-increment, abl-overhead, abl-slot,
+// abl-curves, abl-reserve.
+
+func init() {
+	Registry["abl-increment"] = AblationIncrement
+	Registry["abl-overhead"] = AblationOverhead
+	Registry["abl-slot"] = AblationSlot
+	Registry["abl-curves"] = AblationCurves
+	Registry["abl-reserve"] = AblationReserve
+	Registry["abl-placement"] = AblationPlacement
+}
+
+// ablationTrace is the shared workload for the ablations.
+func ablationTrace(o Options) trace.Trace {
+	return trace.Generate(trace.Config{
+		Name: "ablation", Jobs: o.scale(120, 30), ClusterGPUs: 64, Load: 1.4, Seed: 77,
+	})
+}
+
+// sumGPUSeconds totals the GPU time consumed across all jobs.
+func sumGPUSeconds(r sim.Result) float64 {
+	s := 0.0
+	for _, jr := range r.Jobs {
+		s += jr.GPUSeconds
+	}
+	return s
+}
+
+// AblationIncrement compares the power-of-two allocation discipline (buddy
+// placement compatible, §4.3) against Algorithm 2 as printed (unit
+// increments, placement-free). Unit increments squeeze slightly more out of
+// the curves but cannot guarantee fragmentation-free placement.
+func AblationIncrement(o Options) (Table, error) {
+	e := newEnv()
+	tr := ablationTrace(o)
+	t := Table{
+		ID:      "abl-increment",
+		Title:   "Power-of-two vs unit-increment allocation",
+		Columns: []string{"mode", "DSR", "admitted", "GPU-hours", "makespan (h)"},
+	}
+	for _, mode := range []struct {
+		name       string
+		powerOfTwo bool
+	}{
+		{"power-of-two (buddy)", true},
+		{"unit increment (Alg. 2 verbatim)", false},
+	} {
+		jobs, err := tr.Jobs(e.prof, e.est)
+		if err != nil {
+			return Table{}, err
+		}
+		res, err := sim.Run(sim.Config{
+			Topology:      topoFor(tr.GPUs),
+			Scheduler:     core.New(core.Options{PowerOfTwo: mode.powerOfTwo}),
+			PlacementFree: !mode.powerOfTwo,
+		}, jobs, tr.Name)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			mode.name, f3(res.DeadlineSatisfactoryRatio()),
+			fmt.Sprintf("%d/%d", res.AdmittedCount(), len(res.Jobs)),
+			f2(sumGPUSeconds(res) / 3600), f2(res.Makespan / 3600),
+		})
+	}
+	t.Notes = append(t.Notes, "unit increments ignore buddy placement; they bound what the power-of-two restriction costs")
+	return t, nil
+}
+
+// AblationOverhead measures how much rescale overheads (Fig. 12(b)) cost
+// end to end by disabling them.
+func AblationOverhead(o Options) (Table, error) {
+	e := newEnv()
+	tr := ablationTrace(o)
+	t := Table{
+		ID:      "abl-overhead",
+		Title:   "Effect of scaling/migration overheads",
+		Columns: []string{"mode", "DSR", "rescales", "makespan (h)"},
+	}
+	for _, mode := range []struct {
+		name string
+		off  bool
+	}{
+		{"overheads charged", false},
+		{"overheads free", true},
+	} {
+		jobs, err := tr.Jobs(e.prof, e.est)
+		if err != nil {
+			return Table{}, err
+		}
+		res, err := sim.Run(sim.Config{
+			Topology:    topoFor(tr.GPUs),
+			Scheduler:   core.NewDefault(),
+			NoOverheads: mode.off,
+		}, jobs, tr.Name)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			mode.name, f3(res.DeadlineSatisfactoryRatio()),
+			fmt.Sprintf("%d", res.Rescales), f2(res.Makespan / 3600),
+		})
+	}
+	return t, nil
+}
+
+// AblationSlot sweeps the planning slot duration: finer slots admit
+// tight-deadline jobs more precisely at higher scheduling cost.
+func AblationSlot(o Options) (Table, error) {
+	e := newEnv()
+	tr := ablationTrace(o)
+	t := Table{
+		ID:      "abl-slot",
+		Title:   "Planning slot duration sweep",
+		Columns: []string{"slot (s)", "DSR", "admitted"},
+	}
+	slots := []float64{30, 60, 120, 300}
+	if o.Quick {
+		slots = []float64{60, 300}
+	}
+	for _, slot := range slots {
+		jobs, err := tr.Jobs(e.prof, e.est)
+		if err != nil {
+			return Table{}, err
+		}
+		res, err := sim.Run(sim.Config{
+			Topology:  topoFor(tr.GPUs),
+			Scheduler: core.New(core.Options{SlotSec: slot, PowerOfTwo: true}),
+		}, jobs, tr.Name)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", slot), f3(res.DeadlineSatisfactoryRatio()),
+			fmt.Sprintf("%d/%d", res.AdmittedCount(), len(res.Jobs)),
+		})
+	}
+	return t, nil
+}
+
+// AblationCurves compares scheduling with best-placement curves (what buddy
+// placement guarantees, §4.3) against the naive pessimistic approach that
+// assumes every worker lands on a different server. Pessimistic curves
+// under-estimate throughput, over-reserve GPUs and admit fewer jobs — the
+// exact failure mode §4.3 argues against.
+func AblationCurves(o Options) (Table, error) {
+	e := newEnv()
+	tr := ablationTrace(o)
+	t := Table{
+		ID:      "abl-curves",
+		Title:   "Best-placement vs pessimistic (fully spread) scaling curves",
+		Columns: []string{"curves", "DSR", "admitted"},
+	}
+	for _, mode := range []struct {
+		name        string
+		pessimistic bool
+	}{
+		{"best placement (buddy, §4.3)", false},
+		{"pessimistic (one worker per server)", true},
+	} {
+		jobs, err := tr.Jobs(e.prof, e.est)
+		if err != nil {
+			return Table{}, err
+		}
+		if mode.pessimistic {
+			for _, j := range jobs {
+				c, err := throughput.BuildCurveFunc(e.est, j.Model, j.GlobalBatch, j.MaxGPUs, throughput.SpreadPlacement)
+				if err != nil {
+					return Table{}, err
+				}
+				j.Curve = c
+				j.MaxGPUs = c.MaxWorkers()
+				if j.RequestedGPUs > j.MaxGPUs {
+					j.RequestedGPUs = j.MaxGPUs
+				}
+			}
+		}
+		res, err := sim.Run(sim.Config{
+			Topology:  topoFor(tr.GPUs),
+			Scheduler: core.NewDefault(),
+		}, jobs, tr.Name)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			mode.name, f3(res.DeadlineSatisfactoryRatio()),
+			fmt.Sprintf("%d/%d", res.AdmittedCount(), len(res.Jobs)),
+		})
+	}
+	return t, nil
+}
+
+// AblationReserve injects node failures and sweeps the admission-time
+// capacity reserve of §4.4: reserving GPUs trades admissions for guarantee
+// robustness under failures.
+func AblationReserve(o Options) (Table, error) {
+	e := newEnv()
+	// A hotter trace than the other ablations so that capacity, not
+	// deadline shape, binds admission.
+	tr := trace.Generate(trace.Config{
+		Name: "abl-reserve", Jobs: o.scale(120, 30), ClusterGPUs: 64, Load: 2.2, Seed: 78,
+	})
+	span := tr.Span()
+	failures := []sim.Failure{
+		{Server: 2, StartSec: span * 0.2, DurationSec: span * 0.3},
+		{Server: 5, StartSec: span * 0.55, DurationSec: span * 0.3},
+	}
+	t := Table{
+		ID:      "abl-reserve",
+		Title:   "Failure reserve sweep (two injected one-server outages)",
+		Columns: []string{"reserve GPUs", "DSR", "admitted", "admitted-and-met"},
+	}
+	for _, reserve := range []int{0, 8, 16, 32} {
+		jobs, err := tr.Jobs(e.prof, e.est)
+		if err != nil {
+			return Table{}, err
+		}
+		res, err := sim.Run(sim.Config{
+			Topology:  topoFor(tr.GPUs),
+			Scheduler: core.New(core.Options{PowerOfTwo: true, ReserveGPUs: reserve}),
+			Failures:  failures,
+		}, jobs, tr.Name)
+		if err != nil {
+			return Table{}, err
+		}
+		met, admitted := 0, 0
+		for _, jr := range res.Jobs {
+			if jr.Dropped {
+				continue
+			}
+			admitted++
+			if jr.Met {
+				met++
+			}
+		}
+		frac := 0.0
+		if admitted > 0 {
+			frac = float64(met) / float64(admitted)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", reserve), f3(res.DeadlineSatisfactoryRatio()),
+			fmt.Sprintf("%d/%d", admitted, len(res.Jobs)), f3(frac),
+		})
+	}
+	t.Notes = append(t.Notes, "admitted-and-met is the guarantee hit rate: how often an admission promise survived the outages")
+	return t, nil
+}
+
+// AblationPlacement compares the free-block heuristics of §4.3: Best-Fit
+// (the paper's choice) against First-Fit and Worst-Fit. The scheduler is
+// identical; only the buddy allocator's split choice differs, so the
+// visible effect is migration traffic.
+func AblationPlacement(o Options) (Table, error) {
+	e := newEnv()
+	tr := ablationTrace(o)
+	t := Table{
+		ID:      "abl-placement",
+		Title:   "Buddy split heuristic: Best-Fit (paper) vs First-Fit vs Worst-Fit",
+		Columns: []string{"policy", "DSR", "migrations", "rescales"},
+	}
+	for _, policy := range []topology.AllocPolicy{topology.BestFit, topology.FirstFit, topology.WorstFit} {
+		jobs, err := tr.Jobs(e.prof, e.est)
+		if err != nil {
+			return Table{}, err
+		}
+		topo := topoFor(tr.GPUs)
+		topo.Policy = policy
+		res, err := sim.Run(sim.Config{Topology: topo, Scheduler: core.NewDefault()}, jobs, tr.Name)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			policy.String(), f3(res.DeadlineSatisfactoryRatio()),
+			fmt.Sprintf("%d", res.Migrations), fmt.Sprintf("%d", res.Rescales),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,54 @@
+package model
+
+// Hardware captures the per-GPU and interconnect constants of the simulated
+// cluster. The defaults model the paper's testbed: 8×A100-40GB servers with
+// third-generation NVLink inside a server and 8× HDR InfiniBand HCAs across
+// servers (§2.2, §6.1).
+type Hardware struct {
+	// PeakTFLOPS is the effective sustained arithmetic throughput of one
+	// GPU on training workloads (not the datasheet peak).
+	PeakTFLOPS float64
+	// NVLinkGBps is the effective all-reduce bus bandwidth between GPUs on
+	// the same server connected by NVLink.
+	NVLinkGBps float64
+	// PCIeGBps is the effective bandwidth when peers must cross the CPU
+	// socket over PCIe/QPI instead of NVLink.
+	PCIeGBps float64
+	// NICGBps is the effective per-GPU bandwidth for cross-server traffic
+	// (one HDR InfiniBand HCA per GPU ≈ 25 GB/s).
+	NICGBps float64
+	// CrossRackGBps is the effective per-GPU bandwidth when workers span
+	// racks through the ToR uplinks.
+	CrossRackGBps float64
+	// IterOverheadSec is the fixed per-iteration cost outside compute and
+	// communication: data loading, kernel launch, optimizer step.
+	IterOverheadSec float64
+	// LinkLatencySec is the per-ring-step latency charged once per peer in
+	// a communication ring.
+	LinkLatencySec float64
+	// CheckpointGBps is the rate at which model state is checkpointed and
+	// restored during a rescale (§5, Fig. 12(b)).
+	CheckpointGBps float64
+	// RescaleFixedSec is the fixed cost of a scaling/migration event:
+	// stopping workers, redistributing state and resuming. The prototype's
+	// PyTorch checkpoint/restore dominates this (§6.6).
+	RescaleFixedSec float64
+}
+
+// DefaultA100 returns hardware constants calibrated so the analytic
+// performance model reproduces the scaling behaviour the paper measures in
+// Fig. 2: VGG16 at 8 GPUs reaches ≈76% of linear scaling, and ResNet50 on one
+// server runs ≈2.17× faster than spread across eight servers.
+func DefaultA100() Hardware {
+	return Hardware{
+		PeakTFLOPS:      100,
+		NVLinkGBps:      250,
+		PCIeGBps:        64,
+		NICGBps:         20,
+		CrossRackGBps:   10,
+		IterOverheadSec: 0.001,
+		LinkLatencySec:  15e-6,
+		CheckpointGBps:  1.0,
+		RescaleFixedSec: 15,
+	}
+}

@@ -1,0 +1,189 @@
+// Package model provides the catalog of DNN models used throughout the
+// ElasticFlow reproduction, together with the per-model constants that feed
+// the analytic performance model in package throughput.
+//
+// The catalog mirrors Table 1 of the paper (ResNet50, VGG16, Inception-V3,
+// BERT, GPT-2 and DeepSpeech2 with their evaluated batch sizes). Parameter
+// counts and FLOP budgets are the published architecture figures; they are
+// the inputs from which concave scaling curves and checkpoint/restore
+// overheads are derived, replacing the paper's A100 profiling runs.
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Task labels the application domain of a model, as in Table 1.
+type Task string
+
+// Task domains from Table 1 of the paper.
+const (
+	TaskCV     Task = "CV"
+	TaskNLP    Task = "NLP"
+	TaskSpeech Task = "Speech Recognition"
+)
+
+// Spec describes a trainable DNN model. A Spec carries everything the
+// scheduler's performance model needs: the gradient volume exchanged per
+// iteration (derived from Params), the arithmetic cost per sample, and the
+// memory-imposed bound on the per-GPU batch size.
+type Spec struct {
+	// Name identifies the model, e.g. "resnet50".
+	Name string
+	// Task is the application domain (CV, NLP, speech).
+	Task Task
+	// Dataset is the dataset named in Table 1; informational only.
+	Dataset string
+	// Params is the number of trainable parameters.
+	Params int64
+	// GFLOPsPerSample is the combined forward+backward cost of one
+	// training sample, in GFLOPs.
+	GFLOPsPerSample float64
+	// BatchSizes lists the global batch sizes evaluated in Table 1.
+	BatchSizes []int
+	// MaxLocalBatch is the largest per-GPU batch that fits in 40 GB of
+	// device memory. Jobs whose global batch divided by the worker count
+	// exceeds this cannot use that worker count (§5: ElasticFlow records
+	// the largest local batch the GPU memory can hold).
+	MaxLocalBatch int
+	// HalfEffBatch is the local batch size at which the GPU reaches half
+	// of its peak arithmetic efficiency. Small local batches underutilize
+	// the device, which is one of the two sources of sub-linear scaling.
+	HalfEffBatch float64
+}
+
+// GradientBytes returns the per-iteration gradient volume exchanged by data
+// parallel training (fp32 gradients, 4 bytes per parameter).
+func (s Spec) GradientBytes() int64 { return s.Params * 4 }
+
+// SupportsBatch reports whether b is one of the Table 1 batch sizes for s.
+func (s Spec) SupportsBatch(b int) bool {
+	for _, bs := range s.BatchSizes {
+		if bs == b {
+			return true
+		}
+	}
+	return false
+}
+
+// MinWorkers returns the smallest power-of-two worker count that can hold
+// the given global batch within per-GPU memory.
+func (s Spec) MinWorkers(globalBatch int) int {
+	w := 1
+	for globalBatch/w > s.MaxLocalBatch {
+		w *= 2
+	}
+	return w
+}
+
+// String implements fmt.Stringer.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s(%dM params, %s)", s.Name, s.Params/1_000_000, s.Task)
+}
+
+// catalog lists the six models of Table 1. The constants are standard
+// published figures for each architecture: parameter counts, forward+backward
+// GFLOPs per sample (≈3× the forward pass), and memory bounds appropriate
+// for a 40 GB A100.
+var catalog = []Spec{
+	{
+		Name:            "resnet50",
+		Task:            TaskCV,
+		Dataset:         "ImageNet",
+		Params:          25_600_000,
+		GFLOPsPerSample: 12.3,
+		BatchSizes:      []int{64, 128, 256},
+		MaxLocalBatch:   256,
+		HalfEffBatch:    6,
+	},
+	{
+		Name:            "vgg16",
+		Task:            TaskCV,
+		Dataset:         "ImageNet",
+		Params:          138_000_000,
+		GFLOPsPerSample: 46.5,
+		BatchSizes:      []int{64, 128, 256},
+		MaxLocalBatch:   128,
+		HalfEffBatch:    4,
+	},
+	{
+		Name:            "inception3",
+		Task:            TaskCV,
+		Dataset:         "ImageNet",
+		Params:          23_900_000,
+		GFLOPsPerSample: 17.1,
+		BatchSizes:      []int{64, 128},
+		MaxLocalBatch:   192,
+		HalfEffBatch:    6,
+	},
+	{
+		Name:            "bert",
+		Task:            TaskNLP,
+		Dataset:         "CoLA",
+		Params:          110_000_000,
+		GFLOPsPerSample: 67.5,
+		BatchSizes:      []int{64, 128},
+		MaxLocalBatch:   64,
+		HalfEffBatch:    4,
+	},
+	{
+		Name:            "gpt2",
+		Task:            TaskNLP,
+		Dataset:         "aclImdb",
+		Params:          124_000_000,
+		GFLOPsPerSample: 381,
+		BatchSizes:      []int{128, 256},
+		MaxLocalBatch:   32,
+		HalfEffBatch:    2,
+	},
+	{
+		Name:            "deepspeech2",
+		Task:            TaskSpeech,
+		Dataset:         "LibriSpeech",
+		Params:          38_000_000,
+		GFLOPsPerSample: 95,
+		BatchSizes:      []int{32, 64},
+		MaxLocalBatch:   32,
+		HalfEffBatch:    4,
+	},
+}
+
+// Catalog returns the Table 1 model pool, sorted by name. The returned slice
+// is a copy; callers may mutate it freely.
+func Catalog() []Spec {
+	out := make([]Spec, len(catalog))
+	copy(out, catalog)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the catalog model names, sorted.
+func Names() []string {
+	specs := Catalog()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ByName looks up a catalog model by name.
+func ByName(name string) (Spec, error) {
+	for _, s := range catalog {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("model: unknown model %q", name)
+}
+
+// MustByName is ByName but panics on unknown names; intended for tests and
+// examples working with the fixed catalog.
+func MustByName(name string) Spec {
+	s, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

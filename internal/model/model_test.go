@@ -1,0 +1,125 @@
+package model
+
+import "testing"
+
+func TestCatalogMatchesTable1(t *testing.T) {
+	specs := Catalog()
+	if len(specs) != 6 {
+		t.Fatalf("catalog has %d models want 6 (Table 1)", len(specs))
+	}
+	want := map[string]struct {
+		task    Task
+		batches []int
+	}{
+		"resnet50":    {TaskCV, []int{64, 128, 256}},
+		"vgg16":       {TaskCV, []int{64, 128, 256}},
+		"inception3":  {TaskCV, []int{64, 128}},
+		"bert":        {TaskNLP, []int{64, 128}},
+		"gpt2":        {TaskNLP, []int{128, 256}},
+		"deepspeech2": {TaskSpeech, []int{32, 64}},
+	}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected model %s", s.Name)
+			continue
+		}
+		if s.Task != w.task {
+			t.Errorf("%s task=%s want %s", s.Name, s.Task, w.task)
+		}
+		if len(s.BatchSizes) != len(w.batches) {
+			t.Errorf("%s batches=%v want %v", s.Name, s.BatchSizes, w.batches)
+			continue
+		}
+		for i, b := range w.batches {
+			if s.BatchSizes[i] != b {
+				t.Errorf("%s batches=%v want %v", s.Name, s.BatchSizes, w.batches)
+				break
+			}
+		}
+		if s.Params <= 0 || s.GFLOPsPerSample <= 0 || s.MaxLocalBatch <= 0 {
+			t.Errorf("%s has non-positive constants: %+v", s.Name, s)
+		}
+	}
+}
+
+func TestCatalogIsACopy(t *testing.T) {
+	a := Catalog()
+	a[0].Params = -1
+	b := Catalog()
+	if b[0].Params == -1 {
+		t.Error("Catalog exposes internal state")
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("vgg16")
+	if err != nil || s.Name != "vgg16" {
+		t.Errorf("ByName(vgg16) = %v, %v", s, err)
+	}
+	if _, err := ByName("alexnet"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByName did not panic on unknown model")
+		}
+	}()
+	MustByName("alexnet")
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("got %d names", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Error("names not sorted")
+		}
+	}
+}
+
+func TestGradientBytes(t *testing.T) {
+	s := MustByName("resnet50")
+	if got := s.GradientBytes(); got != s.Params*4 {
+		t.Errorf("GradientBytes=%d want %d (fp32)", got, s.Params*4)
+	}
+}
+
+func TestSupportsBatch(t *testing.T) {
+	s := MustByName("bert")
+	if !s.SupportsBatch(64) || s.SupportsBatch(256) {
+		t.Error("SupportsBatch wrong for bert")
+	}
+}
+
+func TestMinWorkers(t *testing.T) {
+	s := MustByName("gpt2") // MaxLocalBatch 32
+	for _, tc := range []struct{ batch, want int }{
+		{32, 1}, {64, 2}, {128, 4}, {256, 8},
+	} {
+		if got := s.MinWorkers(tc.batch); got != tc.want {
+			t.Errorf("MinWorkers(%d)=%d want %d", tc.batch, got, tc.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if MustByName("bert").String() == "" {
+		t.Error("empty Spec string")
+	}
+}
+
+func TestDefaultA100Sane(t *testing.T) {
+	hw := DefaultA100()
+	if hw.PeakTFLOPS <= 0 || hw.NVLinkGBps <= hw.NICGBps || hw.NICGBps <= hw.CrossRackGBps {
+		t.Errorf("hardware bandwidth hierarchy violated: %+v", hw)
+	}
+	if hw.RescaleFixedSec <= 0 || hw.CheckpointGBps <= 0 {
+		t.Errorf("rescale constants non-positive: %+v", hw)
+	}
+}

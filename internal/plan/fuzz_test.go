@@ -1,0 +1,51 @@
+package plan
+
+import (
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/throughput"
+)
+
+// FuzzFill drives progressive filling with arbitrary demands and background
+// usage: it must never panic, never overcommit, and a satisfied plan must
+// finish within its deadline horizon.
+func FuzzFill(f *testing.F) {
+	f.Add(int64(1), uint16(10), uint8(4), uint8(1), uint8(8), false)
+	f.Add(int64(2), uint16(1000), uint8(16), uint8(2), uint8(0), true)
+	f.Add(int64(3), uint16(0), uint8(0), uint8(0), uint8(0), false)
+	f.Fuzz(func(t *testing.T, seed int64, remRaw uint16, deadline, minG, maxG uint8, pow2 bool) {
+		curve := throughput.MustCurve(map[int]float64{1: 1, 2: 1.7, 4: 2.9, 8: 4.2, 16: 5.1})
+		g := 16
+		fl := NewFiller(g, 1, pow2)
+		// Background load derived from the seed.
+		bg := make([]int, int(deadline)%32)
+		x := seed
+		for i := range bg {
+			x = x*6364136223846793005 + 1442695040888963407
+			v := int(uint64(x)>>33) % (g + 1)
+			bg[i] = v
+		}
+		fl.Commit(Allocation{Levels: bg})
+
+		d := Demand{
+			Curve:        curve,
+			Remaining:    float64(remRaw) / 7,
+			DeadlineSlot: int(deadline) % 64,
+			MinGPUs:      int(minG) % 8,
+			MaxGPUs:      int(maxG) % 32,
+		}
+		a := fl.Fill(d)
+		fl.Commit(a)
+		for s := 0; s < 70; s++ {
+			if fl.UsedAt(s) > g {
+				t.Fatalf("slot %d overcommitted: %d > %d", s, fl.UsedAt(s), g)
+			}
+		}
+		if a.Satisfied && d.Remaining > 1e-9 && a.FinishSlot >= d.DeadlineSlot {
+			t.Fatalf("satisfied plan finishes at slot %d, deadline %d", a.FinishSlot, d.DeadlineSlot)
+		}
+		if a.GPUTime < 0 {
+			t.Fatalf("negative GPU time %v", a.GPUTime)
+		}
+	})
+}

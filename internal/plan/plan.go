@@ -1,0 +1,424 @@
+// Package plan implements the slot-indexed allocation machinery behind
+// ElasticFlow's admission control and resource allocation (§4.1–§4.2).
+//
+// Time is discretized into slots of fixed duration starting at the current
+// scheduling event. A Filler tracks, per slot, how many GPUs are already
+// promised to higher-priority jobs, and computes for one job at a time the
+// progressive filling of Algorithm 1: raise a per-slot allocation level j
+// until the job's remaining iterations complete before its deadline, where
+// the job receives min(j, free capacity) in every slot.
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/elasticflow/elasticflow/internal/throughput"
+)
+
+// Demand is the input of progressive filling for one job.
+type Demand struct {
+	// Curve maps worker counts to iterations/sec under best placement.
+	Curve throughput.Curve
+	// Remaining is the number of iterations still to run (M_i minus
+	// progress so far).
+	Remaining float64
+	// DeadlineSlot bounds the slots the job may use: allocations are
+	// placed in [0, DeadlineSlot).
+	DeadlineSlot int
+	// MinGPUs is the smallest feasible worker count (memory floor); any
+	// smaller allocation is useless and becomes zero.
+	MinGPUs int
+	// MaxGPUs caps the worker count (scaling ceiling). Zero means
+	// unbounded.
+	MaxGPUs int
+}
+
+// Allocation is the result of filling one job: its planned per-slot worker
+// counts and derived accounting.
+type Allocation struct {
+	// Levels[t] is the number of GPUs in slot t. Slots after the finish
+	// slot are zero; the finish slot itself holds its full level (the
+	// planner reserves the whole slot; the simulator frees GPUs at the
+	// actual completion instant).
+	Levels []int
+	// Satisfied reports whether the plan completes Remaining iterations
+	// by DeadlineSlot. Unsatisfied allocations are best-effort maximal
+	// plans (used to keep running jobs alive when replanning detects
+	// infeasibility).
+	Satisfied bool
+	// FinishSlot is the slot in which the job completes (len(Levels) when
+	// not satisfied).
+	FinishSlot int
+	// FinishFrac is the fraction of FinishSlot elapsed at completion.
+	FinishFrac float64
+	// GPUTime is the total GPU·seconds the plan consumes, counting the
+	// finish slot fractionally — the quantity Algorithm 2 minimizes.
+	GPUTime float64
+}
+
+// GPUsAt returns the planned worker count in slot t (0 beyond the plan).
+func (a Allocation) GPUsAt(t int) int {
+	if t < 0 || t >= len(a.Levels) {
+		return 0
+	}
+	return a.Levels[t]
+}
+
+// FirstChangeSlot returns the smallest t ≥ 1 at which the planned level
+// differs from slot 0, or 0 if the plan never changes. The simulator uses it
+// to wake up at planned reallocation boundaries.
+func (a Allocation) FirstChangeSlot() int {
+	for t := 1; t < len(a.Levels); t++ {
+		if a.Levels[t] != a.Levels[0] {
+			return t
+		}
+	}
+	return 0
+}
+
+// FinishTime returns the completion time in seconds from the plan origin.
+func (a Allocation) FinishTime(slotDur float64) float64 {
+	if !a.Satisfied && a.FinishSlot >= len(a.Levels) {
+		return math.Inf(1)
+	}
+	return (float64(a.FinishSlot) + a.FinishFrac) * slotDur
+}
+
+// Filler tracks committed per-slot GPU usage and fills one demand at a time.
+// The zero value is unusable; construct with NewFiller.
+type Filler struct {
+	// G is the cluster capacity in GPUs.
+	G int
+	// SlotDur is the slot length in seconds.
+	SlotDur float64
+	// PowerOfTwo restricts allocations to powers of two, matching buddy
+	// placement (§4.3). When false, the filler runs Algorithm 1 exactly
+	// as printed, with unit increments.
+	PowerOfTwo bool
+
+	used []int // committed usage per slot
+}
+
+// NewFiller creates a filler for a cluster of g GPUs with the given slot
+// duration. powerOfTwo selects the buddy-compatible allocation discipline.
+func NewFiller(g int, slotDur float64, powerOfTwo bool) *Filler {
+	return &Filler{G: g, SlotDur: slotDur, PowerOfTwo: powerOfTwo}
+}
+
+// UsedAt returns the committed usage in slot t.
+func (f *Filler) UsedAt(t int) int {
+	if t < 0 || t >= len(f.used) {
+		return 0
+	}
+	return f.used[t]
+}
+
+// FreeAt returns the free capacity in slot t.
+func (f *Filler) FreeAt(t int) int { return f.G - f.UsedAt(t) }
+
+func (f *Filler) ensure(n int) {
+	if len(f.used) >= n {
+		return
+	}
+	grown := make([]int, n)
+	copy(grown, f.used)
+	f.used = grown
+}
+
+// Commit reserves the allocation's levels in the filler's usage grid.
+func (f *Filler) Commit(a Allocation) {
+	f.ensure(len(a.Levels))
+	for t, x := range a.Levels {
+		f.used[t] += x
+		if f.used[t] > f.G {
+			// Programming error: callers must only commit plans
+			// produced against the current usage.
+			panic(fmt.Sprintf("plan: slot %d overcommitted: %d > %d", t, f.used[t], f.G))
+		}
+	}
+}
+
+// Uncommit releases a previously committed allocation.
+func (f *Filler) Uncommit(a Allocation) {
+	for t, x := range a.Levels {
+		if t >= len(f.used) || f.used[t] < x {
+			panic(fmt.Sprintf("plan: slot %d under-release", t))
+		}
+		f.used[t] -= x
+	}
+}
+
+// clampLevel maps a raw candidate worker count to a feasible one: capped by
+// MaxGPUs, rounded down to a power of two when required, and floored to zero
+// when below MinGPUs.
+func (f *Filler) clampLevel(x int, d Demand) int {
+	if d.MaxGPUs > 0 && x > d.MaxGPUs {
+		x = d.MaxGPUs
+	}
+	if f.PowerOfTwo && x > 0 {
+		p := 1
+		for p*2 <= x {
+			p *= 2
+		}
+		x = p
+	}
+	minG := d.MinGPUs
+	if minG < 1 {
+		minG = 1
+	}
+	if x < minG {
+		return 0
+	}
+	return x
+}
+
+// levelSequence returns the candidate levels progressive filling iterates
+// over: 1,2,3,…,G in unit mode; powers of two in buddy mode.
+func (f *Filler) levelSequence(d Demand) []int {
+	maxJ := f.G
+	if d.MaxGPUs > 0 && d.MaxGPUs < maxJ {
+		maxJ = d.MaxGPUs
+	}
+	var seq []int
+	if f.PowerOfTwo {
+		for j := 1; j <= maxJ; j *= 2 {
+			seq = append(seq, j)
+		}
+	} else {
+		for j := 1; j <= maxJ; j++ {
+			seq = append(seq, j)
+		}
+	}
+	return seq
+}
+
+// Fill runs progressive filling (Algorithm 1's inner procedure) for the
+// demand against the current committed usage: it finds the smallest level j
+// such that allocating min(j, free(t)) in every slot t ∈ [0, DeadlineSlot)
+// completes the demand in time. The allocation is returned uncommitted.
+//
+// When no level satisfies the demand, Fill returns the maximal-progress
+// allocation with Satisfied=false.
+func (f *Filler) Fill(d Demand) Allocation {
+	return f.fill(d, 0, -1)
+}
+
+// FillFixedSlot0 runs progressive filling with slot 0 pinned to exactly
+// slot0 workers (Algorithm 2's marginal-return probe: x_i(0) ← a_i(0)+1,
+// then ProgressiveFilling(i, 1)). slot0 may be 0.
+func (f *Filler) FillFixedSlot0(d Demand, slot0 int) Allocation {
+	return f.fill(d, 1, slot0)
+}
+
+// FillEarliest finds an allocation that completes the demand as soon as
+// possible when its own deadline horizon no longer suffices: the horizon is
+// doubled until progressive filling succeeds (so the plan finishes within
+// 2× the minimal achievable time at the minimal level), capped at maxSlots.
+// This is the recovery plan for an admitted job whose guarantee slipped —
+// it must race to the finish, not idle at its memory floor.
+func (f *Filler) FillEarliest(d Demand, maxSlots int) Allocation {
+	h := d.DeadlineSlot
+	if h < 1 {
+		h = 1
+	}
+	for ; h < maxSlots; h *= 2 {
+		d2 := d
+		d2.DeadlineSlot = h
+		if a := f.fill(d2, 0, -1); a.Satisfied {
+			return a
+		}
+	}
+	d2 := d
+	d2.DeadlineSlot = maxSlots
+	return f.fill(d2, 0, -1)
+}
+
+// RaiseSlot0 returns cur with its slot-0 worker count raised to slot0 and
+// the remaining slots kept as they are, re-trimmed at the new (earlier)
+// completion point. This is the marginal-return probe Algorithm 2 needs for
+// loose-deadline jobs: re-filling the tail minimally (FillFixedSlot0) would
+// slow the tail down and mask the benefit of the extra GPU, leaving spare
+// capacity unused; keeping the tail makes the probe a strict improvement
+// whenever the raised slot 0 adds throughput. cur must be uncommitted from
+// the filler during the call (the caller manages commit state).
+func (f *Filler) RaiseSlot0(d Demand, cur Allocation, slot0 int) Allocation {
+	levels := make([]int, len(cur.Levels))
+	copy(levels, cur.Levels)
+	if len(levels) == 0 {
+		levels = []int{0}
+	}
+	x := slot0
+	if free := f.FreeAt(0); x > free {
+		x = free
+	}
+	levels[0] = f.clampLevel(x, d)
+
+	a := Allocation{Levels: levels, FinishSlot: len(levels)}
+	progress := 0.0
+	for t, lv := range levels {
+		if lv == 0 {
+			continue
+		}
+		delta := d.Curve.At(lv) * f.SlotDur
+		if progress+delta >= d.Remaining-1e-9 {
+			frac := 0.0
+			if delta > 0 {
+				frac = (d.Remaining - progress) / delta
+				if frac < 0 {
+					frac = 0
+				}
+				if frac > 1 {
+					frac = 1
+				}
+			}
+			a.Satisfied = true
+			a.FinishSlot = t
+			a.FinishFrac = frac
+			a.GPUTime += float64(lv) * frac * f.SlotDur
+			a.Levels = levels[:t+1]
+			return a
+		}
+		progress += delta
+		a.GPUTime += float64(lv) * f.SlotDur
+	}
+	a.Satisfied = d.Remaining <= 1e-9
+	return a
+}
+
+// fill is the common implementation. startSlot is the first slot whose level
+// the candidate j controls; slots before it are pinned to fixed0 (only slot
+// 0 can be pinned). fixed0 < 0 means no pin.
+//
+// Levels are probed in ascending order with a single early-exiting pass per
+// level, so a job satisfiable at a low level costs O(finish slot) rather
+// than O(horizon). Because per-slot allocations — and hence progress — are
+// monotone in the level, the highest level doubles as the maximal-progress
+// fallback when no level satisfies the demand.
+func (f *Filler) fill(d Demand, startSlot, fixed0 int) Allocation {
+	horizon := d.DeadlineSlot
+	if horizon < 0 {
+		horizon = 0
+	}
+	// No upfront ensure: FreeAt treats slots beyond the usage grid as
+	// fully free, and Commit grows the grid to the (finish-trimmed) plan.
+
+	seq := f.levelSequence(d)
+	for _, j := range seq {
+		if fin, frac, ok := f.probeLevel(d, j, startSlot, fixed0, horizon); ok {
+			return f.materialize(d, j, startSlot, fixed0, fin, frac)
+		}
+	}
+	maxJ := 0
+	if len(seq) > 0 {
+		maxJ = seq[len(seq)-1]
+	}
+	return f.materializeUnsatisfied(d, maxJ, startSlot, fixed0, horizon)
+}
+
+// levelAt returns the worker count level j grants in slot t under the
+// pinning rules and current usage.
+func (f *Filler) levelAt(d Demand, j, startSlot, fixed0, t int) int {
+	x := j
+	if t < startSlot {
+		if t == 0 && fixed0 >= 0 {
+			x = fixed0
+		} else {
+			x = 0
+		}
+	}
+	if free := f.FreeAt(t); x > free {
+		x = free
+	}
+	return f.clampLevel(x, d)
+}
+
+// probeLevel walks slots accumulating progress until the demand is met,
+// returning the finish slot and its fractional use. ok is false when the
+// demand cannot complete by the horizon at this level.
+func (f *Filler) probeLevel(d Demand, j, startSlot, fixed0, horizon int) (fin int, frac float64, ok bool) {
+	if d.Remaining <= 1e-9 {
+		return 0, 0, true
+	}
+	progress := 0.0
+	for t := 0; t < horizon; t++ {
+		x := f.levelAt(d, j, startSlot, fixed0, t)
+		if x == 0 {
+			continue
+		}
+		delta := d.Curve.At(x) * f.SlotDur
+		if progress+delta >= d.Remaining-1e-9 {
+			fr := 0.0
+			if delta > 0 {
+				fr = (d.Remaining - progress) / delta
+				if fr < 0 {
+					fr = 0
+				}
+				if fr > 1 {
+					fr = 1
+				}
+			}
+			return t, fr, true
+		}
+		progress += delta
+	}
+	return horizon, 0, false
+}
+
+// materialize builds the satisfied allocation for level j finishing at
+// (fin, frac): levels up to and including the finish slot, fractional GPU
+// time.
+func (f *Filler) materialize(d Demand, j, startSlot, fixed0, fin int, frac float64) Allocation {
+	levels := make([]int, fin+1)
+	gpuTime := 0.0
+	for t := 0; t <= fin; t++ {
+		x := f.levelAt(d, j, startSlot, fixed0, t)
+		levels[t] = x
+		if t < fin {
+			gpuTime += float64(x) * f.SlotDur
+		} else {
+			gpuTime += float64(x) * frac * f.SlotDur
+		}
+	}
+	if d.Remaining <= 1e-9 {
+		// Nothing to run: an empty, satisfied plan.
+		levels = nil
+		gpuTime = 0
+	}
+	return Allocation{Levels: levels, Satisfied: true, FinishSlot: fin, FinishFrac: frac, GPUTime: gpuTime}
+}
+
+// materializeUnsatisfied builds the maximal best-effort plan over the whole
+// horizon for an unsatisfiable demand.
+func (f *Filler) materializeUnsatisfied(d Demand, j, startSlot, fixed0, horizon int) Allocation {
+	levels := make([]int, horizon)
+	gpuTime := 0.0
+	for t := 0; t < horizon; t++ {
+		x := f.levelAt(d, j, startSlot, fixed0, t)
+		levels[t] = x
+		gpuTime += float64(x) * f.SlotDur
+	}
+	if d.Remaining <= 1e-9 {
+		return Allocation{Levels: make([]int, horizon), Satisfied: true, FinishSlot: 0, GPUTime: 0}
+	}
+	return Allocation{Levels: levels, Satisfied: false, FinishSlot: horizon, GPUTime: gpuTime}
+}
+
+// progress returns the iterations the levels achieve over the horizon.
+func (f *Filler) progress(d Demand, levels []int) float64 {
+	p := 0.0
+	for _, x := range levels {
+		p += d.Curve.At(x) * f.SlotDur
+	}
+	return p
+}
+
+// TotalCommitted returns the committed GPU·slots across all slots, a debug
+// aid for tests.
+func (f *Filler) TotalCommitted() int {
+	s := 0
+	for _, u := range f.used {
+		s += u
+	}
+	return s
+}

@@ -1,0 +1,336 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/elasticflow/elasticflow/internal/throughput"
+)
+
+// fig4Curve is the scaling curve of the paper's Fig. 4 example: throughput
+// 1, 1.5 and 2 units with one, two and four GPUs.
+func fig4Curve() throughput.Curve {
+	return throughput.MustCurve(map[int]float64{1: 1, 2: 1.5, 4: 2})
+}
+
+// TestFig4AloneNeedsTwoGPUs reproduces Fig. 4(b): with an empty cluster of 4
+// GPUs, job C (deadline 2 slots, 3 iterations) needs 2 GPUs per slot and
+// consumes 4 units of GPU time.
+func TestFig4AloneNeedsTwoGPUs(t *testing.T) {
+	f := NewFiller(4, 1, true)
+	a := f.Fill(Demand{Curve: fig4Curve(), Remaining: 3, DeadlineSlot: 2, MinGPUs: 1})
+	if !a.Satisfied {
+		t.Fatalf("job C not satisfied: %+v", a)
+	}
+	if a.Levels[0] != 2 || a.Levels[1] != 2 {
+		t.Errorf("levels = %v want [2 2]", a.Levels)
+	}
+	if a.GPUTime != 4 {
+		t.Errorf("GPU time = %v want 4 (paper Fig. 4(b))", a.GPUTime)
+	}
+}
+
+// TestFig4WithContention reproduces Fig. 4(c): with jobs A and B occupying 3
+// of the 4 GPUs in slot 0, job C needs level j=4 — 1 GPU in slot 0 and 4 in
+// slot 1 — consuming 5 units of GPU time.
+func TestFig4WithContention(t *testing.T) {
+	f := NewFiller(4, 1, true)
+	// Jobs A and B: 3 GPUs in slot 0.
+	f.Commit(Allocation{Levels: []int{3}})
+	a := f.Fill(Demand{Curve: fig4Curve(), Remaining: 3, DeadlineSlot: 2, MinGPUs: 1})
+	if !a.Satisfied {
+		t.Fatalf("job C not satisfied: %+v", a)
+	}
+	if a.Levels[0] != 1 || a.Levels[1] != 4 {
+		t.Errorf("levels = %v want [1 4] (paper Fig. 4(c))", a.Levels)
+	}
+	if a.GPUTime != 5 {
+		t.Errorf("GPU time = %v want 5 (paper Fig. 4(c))", a.GPUTime)
+	}
+}
+
+// TestFig4IntermediateLevelInsufficient checks the intermediate step of the
+// §4.1 walk-through: with j=2 job C only reaches 2.5 < 3 iterations.
+func TestFig4IntermediateLevelInsufficient(t *testing.T) {
+	f := NewFiller(4, 1, true)
+	f.Commit(Allocation{Levels: []int{3}})
+	d := Demand{Curve: fig4Curve(), Remaining: 3, DeadlineSlot: 2, MinGPUs: 1, MaxGPUs: 2}
+	a := f.Fill(d)
+	if a.Satisfied {
+		t.Fatalf("level ≤2 should not satisfy job C, got %+v", a)
+	}
+	if got := f.progress(d, a.Levels); got != 2.5 {
+		t.Errorf("progress at j=2 = %v want 2.5", got)
+	}
+}
+
+func TestFillInfeasibleDeadline(t *testing.T) {
+	f := NewFiller(4, 1, true)
+	a := f.Fill(Demand{Curve: fig4Curve(), Remaining: 10, DeadlineSlot: 2, MinGPUs: 1})
+	if a.Satisfied {
+		t.Error("infeasible demand satisfied")
+	}
+	// The fallback must be the maximal-progress plan.
+	if a.Levels[0] != 4 || a.Levels[1] != 4 {
+		t.Errorf("fallback levels = %v want [4 4]", a.Levels)
+	}
+}
+
+func TestFillZeroRemaining(t *testing.T) {
+	f := NewFiller(4, 1, true)
+	a := f.Fill(Demand{Curve: fig4Curve(), Remaining: 0, DeadlineSlot: 2, MinGPUs: 1})
+	if !a.Satisfied {
+		t.Error("zero remaining not satisfied")
+	}
+	if a.GPUTime != 0 {
+		t.Errorf("GPU time = %v want 0", a.GPUTime)
+	}
+}
+
+func TestFillRespectsMinGPUs(t *testing.T) {
+	f := NewFiller(4, 1, true)
+	// Slot 0 has only 1 free GPU but the job needs at least 2: it must
+	// receive zero there, not a useless single GPU.
+	f.Commit(Allocation{Levels: []int{3}})
+	a := f.Fill(Demand{Curve: fig4Curve(), Remaining: 2, DeadlineSlot: 3, MinGPUs: 2})
+	if a.Levels[0] != 0 {
+		t.Errorf("slot 0 = %d want 0 (below memory floor)", a.Levels[0])
+	}
+	if !a.Satisfied {
+		t.Error("job should be satisfiable from slot 1")
+	}
+}
+
+func TestFillPowerOfTwoClamping(t *testing.T) {
+	f := NewFiller(8, 1, true)
+	// 3 GPUs free in slot 0: a power-of-two job must take 2, not 3.
+	f.Commit(Allocation{Levels: []int{5}})
+	a := f.Fill(Demand{Curve: throughput.MustCurve(map[int]float64{1: 1, 2: 1.9, 4: 3.5, 8: 6}), Remaining: 100, DeadlineSlot: 4, MinGPUs: 1})
+	if a.Levels[0] != 2 {
+		t.Errorf("slot 0 = %d want 2 (power-of-two clamp of 3 free)", a.Levels[0])
+	}
+}
+
+func TestFillUnitModeUsesExactFree(t *testing.T) {
+	f := NewFiller(8, 1, false)
+	f.Commit(Allocation{Levels: []int{5}})
+	a := f.Fill(Demand{Curve: throughput.MustCurve(map[int]float64{1: 1, 2: 1.9, 4: 3.5, 8: 6}), Remaining: 100, DeadlineSlot: 4, MinGPUs: 1})
+	if a.Levels[0] != 3 {
+		t.Errorf("slot 0 = %d want 3 (unit mode uses all free GPUs)", a.Levels[0])
+	}
+}
+
+func TestFillFixedSlot0(t *testing.T) {
+	f := NewFiller(4, 1, true)
+	// Pin slot 0 to 4 GPUs; the filler chooses the rest.
+	a := f.FillFixedSlot0(Demand{Curve: fig4Curve(), Remaining: 3, DeadlineSlot: 2, MinGPUs: 1}, 4)
+	if a.Levels[0] != 4 {
+		t.Errorf("slot 0 = %d want 4 (pinned)", a.Levels[0])
+	}
+	if !a.Satisfied {
+		t.Error("pinned fill unsatisfied")
+	}
+	// Slot 0 contributes 2 iterations, so slot 1 needs only level 1.
+	if a.Levels[1] != 1 {
+		t.Errorf("slot 1 = %d want 1", a.Levels[1])
+	}
+}
+
+func TestCommitUncommitRoundTrip(t *testing.T) {
+	f := NewFiller(4, 1, true)
+	a := f.Fill(Demand{Curve: fig4Curve(), Remaining: 3, DeadlineSlot: 2, MinGPUs: 1})
+	f.Commit(a)
+	if f.UsedAt(0) != 2 || f.UsedAt(1) != 2 {
+		t.Errorf("usage after commit = [%d %d] want [2 2]", f.UsedAt(0), f.UsedAt(1))
+	}
+	f.Uncommit(a)
+	if f.TotalCommitted() != 0 {
+		t.Errorf("usage after uncommit = %d want 0", f.TotalCommitted())
+	}
+}
+
+func TestCommitOvercommitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("overcommit did not panic")
+		}
+	}()
+	f := NewFiller(2, 1, true)
+	f.Commit(Allocation{Levels: []int{2}})
+	f.Commit(Allocation{Levels: []int{1}})
+}
+
+func TestFinishAccounting(t *testing.T) {
+	f := NewFiller(4, 1, true)
+	// Minimal level is 1 GPU → 1 iter/slot; 2.5 remaining ⇒ finish mid
+	// slot 2 with frac 0.5.
+	a := f.Fill(Demand{Curve: fig4Curve(), Remaining: 2.5, DeadlineSlot: 4, MinGPUs: 1})
+	if !a.Satisfied {
+		t.Fatal("unsatisfied")
+	}
+	if a.FinishSlot != 2 {
+		t.Errorf("FinishSlot=%d want 2", a.FinishSlot)
+	}
+	if a.FinishFrac < 0.49 || a.FinishFrac > 0.51 {
+		t.Errorf("FinishFrac=%v want ≈0.5", a.FinishFrac)
+	}
+	if got := a.FinishTime(1); got < 2.49 || got > 2.51 {
+		t.Errorf("FinishTime=%v want ≈2.5", got)
+	}
+	if a.GPUTime < 2.49 || a.GPUTime > 2.51 {
+		t.Errorf("GPUTime=%v want ≈2.5", a.GPUTime)
+	}
+	// Slots after completion are trimmed.
+	for tslot := 3; tslot < len(a.Levels); tslot++ {
+		if a.Levels[tslot] != 0 {
+			t.Errorf("slot %d = %d want 0 after completion", tslot, a.Levels[tslot])
+		}
+	}
+}
+
+func TestFirstChangeSlot(t *testing.T) {
+	for _, tc := range []struct {
+		levels []int
+		want   int
+	}{
+		{[]int{2, 2, 2}, 0},
+		{[]int{1, 4}, 1},
+		{[]int{2, 2, 0}, 2},
+		{nil, 0},
+	} {
+		a := Allocation{Levels: tc.levels}
+		if got := a.FirstChangeSlot(); got != tc.want {
+			t.Errorf("FirstChangeSlot(%v)=%d want %d", tc.levels, got, tc.want)
+		}
+	}
+}
+
+// TestFillMinimality: the level chosen by Fill is minimal — capping MaxGPUs
+// one step below it must make the demand unsatisfiable.
+func TestFillMinimality(t *testing.T) {
+	curve := throughput.MustCurve(map[int]float64{1: 1, 2: 1.8, 4: 3, 8: 4.5})
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		f := NewFiller(8, 1, true)
+		// Random background usage.
+		bg := make([]int, 6)
+		for t := range bg {
+			bg[t] = rng.Intn(7)
+		}
+		f.Commit(Allocation{Levels: bg})
+		d := Demand{
+			Curve:        curve,
+			Remaining:    1 + rng.Float64()*20,
+			DeadlineSlot: 1 + rng.Intn(6),
+			MinGPUs:      1,
+		}
+		a := f.Fill(d)
+		if !a.Satisfied {
+			continue
+		}
+		// Find the level Fill effectively used: the max level granted.
+		maxLevel := 0
+		for _, x := range a.Levels {
+			if x > maxLevel {
+				maxLevel = x
+			}
+		}
+		if maxLevel <= 1 {
+			continue
+		}
+		d2 := d
+		d2.MaxGPUs = maxLevel / 2
+		if a2 := f.Fill(d2); a2.Satisfied {
+			t.Fatalf("trial %d: Fill used level %d but %d suffices (bg=%v, d=%+v)", trial, maxLevel, maxLevel/2, bg, d)
+		}
+	}
+}
+
+// TestFillNeverOvercommitsProperty: whatever the demand and background load,
+// committing the result never exceeds capacity in any slot.
+func TestFillNeverOvercommitsProperty(t *testing.T) {
+	curve := throughput.MustCurve(map[int]float64{1: 1, 2: 1.7, 4: 2.8, 8: 4, 16: 5})
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := NewFiller(16, 1, rng.Intn(2) == 0)
+		for k := 0; k < 8; k++ {
+			d := Demand{
+				Curve:        curve,
+				Remaining:    rng.Float64() * 30,
+				DeadlineSlot: rng.Intn(10),
+				MinGPUs:      1 << rng.Intn(2),
+			}
+			a := f.Fill(d)
+			f.Commit(a)
+		}
+		for tslot := 0; tslot < 12; tslot++ {
+			if f.UsedAt(tslot) > f.G {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFillSatisfiedImpliesDeadline: a satisfied allocation always finishes
+// within the deadline horizon.
+func TestFillSatisfiedImpliesDeadline(t *testing.T) {
+	curve := throughput.MustCurve(map[int]float64{1: 2, 2: 3.4, 4: 5})
+	fn := func(rem float64, dl uint8) bool {
+		if rem < 0 {
+			rem = -rem
+		}
+		rem = 1 + rem*0.001
+		f := NewFiller(4, 1, true)
+		d := Demand{Curve: curve, Remaining: rem, DeadlineSlot: int(dl % 20), MinGPUs: 1}
+		a := f.Fill(d)
+		if !a.Satisfied {
+			return true
+		}
+		return a.FinishSlot < d.DeadlineSlot || (d.DeadlineSlot == 0 && rem <= 1e-9)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRaiseSlot0(t *testing.T) {
+	f := NewFiller(4, 1, true)
+	curve := fig4Curve()
+	d := Demand{Curve: curve, Remaining: 4, DeadlineSlot: 8, MinGPUs: 1}
+	cur := f.Fill(d) // level 1: [1,1,1,1]
+	if cur.GPUsAt(0) != 1 || cur.FinishSlot != 3 {
+		t.Fatalf("setup plan %+v", cur)
+	}
+	alt := f.RaiseSlot0(d, cur, 2)
+	if alt.GPUsAt(0) != 2 {
+		t.Fatalf("slot0=%d want 2", alt.GPUsAt(0))
+	}
+	// Tail stays at level 1; progress 1.5+1+1 = 3.5 then 0.5 into slot 3.
+	if alt.GPUsAt(1) != 1 {
+		t.Errorf("tail changed: %v", alt.Levels)
+	}
+	if !(alt.FinishTime(1) < cur.FinishTime(1)) {
+		t.Errorf("raise did not finish earlier: %v vs %v", alt.FinishTime(1), cur.FinishTime(1))
+	}
+	if !alt.Satisfied {
+		t.Error("raised plan unsatisfied")
+	}
+	// Raising is clamped by free capacity.
+	f.Commit(Allocation{Levels: []int{3}})
+	alt2 := f.RaiseSlot0(d, cur, 4)
+	if alt2.GPUsAt(0) != 1 {
+		t.Errorf("slot0=%d want 1 (only 1 GPU free)", alt2.GPUsAt(0))
+	}
+	// Empty current plan gets a single raised slot.
+	empty := Allocation{}
+	f2 := NewFiller(4, 1, true)
+	alt3 := f2.RaiseSlot0(d, empty, 2)
+	if alt3.GPUsAt(0) != 2 || len(alt3.Levels) != 1 {
+		t.Errorf("raise of empty plan = %+v", alt3)
+	}
+}

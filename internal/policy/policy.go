@@ -1,0 +1,178 @@
+// Package policy implements the operator-side admission policies sketched in
+// §4.4 ("Malicious users and admission control policies"): per-user quotas
+// and deadline-sensitive pricing, applied after feasibility but before the
+// final admit (the paper's "extra policy or charge the user before line 9 of
+// Algorithm 1"). Policies compose with Chain and plug into
+// core.Options.Quota.
+package policy
+
+import (
+	"sync"
+
+	"github.com/elasticflow/elasticflow/internal/job"
+)
+
+// Policy is one admission policy: Allows inspects a feasible job; Commit
+// records the admission's effect (counting a submission, charging a price).
+// Separating the two lets Chain reject on any policy without half-applying
+// the others.
+type Policy interface {
+	Allows(j *job.Job) bool
+	Commit(j *job.Job)
+}
+
+// Chain combines policies into a core.Options.Quota function: the job is
+// admitted only if every policy allows it, and effects commit atomically.
+func Chain(policies ...Policy) func(*job.Job) bool {
+	return func(j *job.Job) bool {
+		for _, p := range policies {
+			if !p.Allows(j) {
+				return false
+			}
+		}
+		for _, p := range policies {
+			p.Commit(j)
+		}
+		return true
+	}
+}
+
+// UserQuota caps how many jobs one user may submit per sliding window —
+// §4.4's "set a maximum number of jobs that can be submitted by each user
+// per day". Jobs without a user are exempt.
+type UserQuota struct {
+	// MaxJobs is the per-user cap within the window.
+	MaxJobs int
+	// WindowSec is the sliding window length (e.g. 86400 for daily).
+	WindowSec float64
+
+	mu        sync.Mutex
+	submitted map[string][]float64 // user → admitted submit times
+}
+
+// NewUserQuota creates a quota of maxJobs per windowSec per user.
+func NewUserQuota(maxJobs int, windowSec float64) *UserQuota {
+	return &UserQuota{MaxJobs: maxJobs, WindowSec: windowSec, submitted: make(map[string][]float64)}
+}
+
+func (q *UserQuota) prune(user string, now float64) {
+	times := q.submitted[user]
+	keep := times[:0]
+	for _, t := range times {
+		if t > now-q.WindowSec {
+			keep = append(keep, t)
+		}
+	}
+	q.submitted[user] = keep
+}
+
+// Allows implements Policy.
+func (q *UserQuota) Allows(j *job.Job) bool {
+	if j.User == "" {
+		return true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.prune(j.User, j.SubmitTime)
+	return len(q.submitted[j.User]) < q.MaxJobs
+}
+
+// Commit implements Policy.
+func (q *UserQuota) Commit(j *job.Job) {
+	if j.User == "" {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.submitted[j.User] = append(q.submitted[j.User], j.SubmitTime)
+}
+
+// Count returns the user's charged submissions within the window ending now.
+func (q *UserQuota) Count(user string, now float64) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.prune(user, now)
+	return len(q.submitted[user])
+}
+
+// Pricing estimates what a job costs: its minimal GPU time at the base rate,
+// multiplied by an urgency premium when the deadline forces the job to run
+// faster than its most efficient (minimum) worker count — §4.4's "the cost
+// depends on the job size and the deadline".
+type Pricing struct {
+	// RatePerGPUHour is the base price of one GPU for one hour.
+	RatePerGPUHour float64
+	// UrgencyPremium scales the surcharge for tight deadlines: a job that
+	// must run u× faster than its minimum level pays
+	// 1 + UrgencyPremium·(u−1) times the base price.
+	UrgencyPremium float64
+}
+
+// Estimate returns the job's price. Best-effort jobs pay the base price.
+func (p Pricing) Estimate(j *job.Job) float64 {
+	minG := j.Curve.MinWorkers()
+	minTput := j.Curve.At(minG)
+	if minTput <= 0 {
+		return 0
+	}
+	gpuHours := j.TotalIters / minTput * float64(minG) / 3600
+	price := p.RatePerGPUHour * gpuHours
+	if j.HasDeadline() {
+		slack := j.Deadline - j.SubmitTime
+		if slack > 0 {
+			urgency := (j.TotalIters / slack) / minTput
+			if urgency > 1 {
+				price *= 1 + p.UrgencyPremium*(urgency-1)
+			}
+		}
+	}
+	return price
+}
+
+// Budget grants users balances and charges the estimated price at
+// admission. Jobs whose user cannot afford the price are rejected.
+type Budget struct {
+	Pricing Pricing
+
+	mu      sync.Mutex
+	balance map[string]float64
+}
+
+// NewBudget creates an empty ledger with the given pricing.
+func NewBudget(p Pricing) *Budget {
+	return &Budget{Pricing: p, balance: make(map[string]float64)}
+}
+
+// Grant adds funds to a user's balance.
+func (b *Budget) Grant(user string, amount float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.balance[user] += amount
+}
+
+// Balance returns a user's remaining funds.
+func (b *Budget) Balance(user string) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.balance[user]
+}
+
+// Allows implements Policy. Jobs without a user are exempt.
+func (b *Budget) Allows(j *job.Job) bool {
+	if j.User == "" {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.balance[j.User] >= b.Pricing.Estimate(j)
+}
+
+// Commit implements Policy: charge the price.
+func (b *Budget) Commit(j *job.Job) {
+	if j.User == "" {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.balance[j.User] -= b.Pricing.Estimate(j)
+}

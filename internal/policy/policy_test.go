@@ -1,0 +1,136 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/core"
+	"github.com/elasticflow/elasticflow/internal/job"
+	"github.com/elasticflow/elasticflow/internal/throughput"
+)
+
+func polJob(id, user string, submit, deadline float64) *job.Job {
+	return &job.Job{
+		ID:          id,
+		User:        user,
+		GlobalBatch: 8,
+		TotalIters:  3600, // 1 GPU-hour at tput 1
+		SubmitTime:  submit,
+		Deadline:    deadline,
+		Class:       job.SLO,
+		Curve:       throughput.MustCurve(map[int]float64{1: 1, 2: 1.5, 4: 2}),
+		MinGPUs:     1,
+		MaxGPUs:     4,
+	}
+}
+
+func TestUserQuotaWindow(t *testing.T) {
+	q := NewUserQuota(2, 3600)
+	chain := Chain(q)
+	for i := 0; i < 2; i++ {
+		j := polJob("a", "alice", float64(i*100), 1e6)
+		if !chain(j) {
+			t.Fatalf("submission %d rejected under quota 2", i)
+		}
+	}
+	if chain(polJob("a3", "alice", 300, 1e6)) {
+		t.Error("third submission within window admitted")
+	}
+	// Other users are unaffected.
+	if !chain(polJob("b1", "bob", 300, 1e6)) {
+		t.Error("unrelated user rejected")
+	}
+	// The window slides: an hour later alice can submit again.
+	if !chain(polJob("a4", "alice", 4000, 1e6)) {
+		t.Error("submission after window expiry rejected")
+	}
+	if got := q.Count("alice", 4000); got != 1 {
+		t.Errorf("Count=%d want 1 (old entries pruned)", got)
+	}
+	// Anonymous jobs are exempt.
+	for i := 0; i < 5; i++ {
+		if !chain(polJob("anon", "", 100, 1e6)) {
+			t.Error("anonymous job rejected by user quota")
+		}
+	}
+}
+
+func TestPricingUrgencyPremium(t *testing.T) {
+	p := Pricing{RatePerGPUHour: 10, UrgencyPremium: 1}
+	// Loose deadline: base price = 1 GPU-hour × 10.
+	loose := polJob("l", "u", 0, 1e6)
+	if got := p.Estimate(loose); math.Abs(got-10) > 1e-9 {
+		t.Errorf("loose price=%v want 10", got)
+	}
+	// Deadline of 1800 s forces 2× the minimum throughput: premium doubles
+	// the price (urgency 2 ⇒ multiplier 1+1·(2−1) = 2).
+	tight := polJob("t", "u", 0, 1800)
+	if got := p.Estimate(tight); math.Abs(got-20) > 1e-9 {
+		t.Errorf("tight price=%v want 20", got)
+	}
+	be := polJob("b", "u", 0, 1e6)
+	be.Class = job.BestEffort
+	be.Deadline = math.Inf(1)
+	if got := p.Estimate(be); math.Abs(got-10) > 1e-9 {
+		t.Errorf("best-effort price=%v want base 10", got)
+	}
+}
+
+func TestBudgetChargesAndRejects(t *testing.T) {
+	b := NewBudget(Pricing{RatePerGPUHour: 10})
+	b.Grant("carol", 15)
+	chain := Chain(b)
+	if !chain(polJob("c1", "carol", 0, 1e6)) { // costs 10
+		t.Fatal("affordable job rejected")
+	}
+	if got := b.Balance("carol"); math.Abs(got-5) > 1e-9 {
+		t.Errorf("balance=%v want 5", got)
+	}
+	if chain(polJob("c2", "carol", 0, 1e6)) { // costs 10 > 5
+		t.Error("unaffordable job admitted")
+	}
+	if !chain(polJob("anon", "", 0, 1e6)) {
+		t.Error("anonymous job rejected by budget")
+	}
+}
+
+// TestChainAtomicity: when a later policy rejects, earlier policies must not
+// have committed their effects.
+func TestChainAtomicity(t *testing.T) {
+	q := NewUserQuota(5, 1e6)
+	b := NewBudget(Pricing{RatePerGPUHour: 10})
+	// dave has no funds: budget rejects, quota must not count.
+	chain := Chain(q, b)
+	if chain(polJob("d", "dave", 0, 1e6)) {
+		t.Fatal("broke job admitted")
+	}
+	if got := q.Count("dave", 0); got != 0 {
+		t.Errorf("quota counted a rejected submission: %d", got)
+	}
+}
+
+// TestPolicyPlugsIntoAdmission: the chain runs as core.Options.Quota after
+// feasibility, before the final admit (§4.4's placement in Algorithm 1).
+func TestPolicyPlugsIntoAdmission(t *testing.T) {
+	q := NewUserQuota(1, 1e6)
+	ef := core.New(core.Options{SlotSec: 60, PowerOfTwo: true, SafetyRescales: -1, Quota: Chain(q)})
+	j1 := polJob("p1", "erin", 0, 1e6)
+	if !ef.Admit(0, j1, nil, 4) {
+		t.Fatal("first job rejected")
+	}
+	j2 := polJob("p2", "erin", 10, 1e6)
+	if ef.Admit(10, j2, []*job.Job{j1}, 4) {
+		t.Error("quota-violating job admitted")
+	}
+	// An infeasible job must not consume quota even though it was the
+	// user's first: feasibility runs before the policy.
+	q2 := NewUserQuota(1, 1e6)
+	ef2 := core.New(core.Options{SlotSec: 60, PowerOfTwo: true, SafetyRescales: -1, Quota: Chain(q2)})
+	hopeless := polJob("h", "frank", 0, 60) // 3600 iters in 60s: impossible
+	if ef2.Admit(0, hopeless, nil, 4) {
+		t.Fatal("infeasible job admitted")
+	}
+	if got := q2.Count("frank", 0); got != 0 {
+		t.Errorf("infeasible job consumed quota: %d", got)
+	}
+}

@@ -1,0 +1,32 @@
+// Package sched defines the scheduler contract shared by ElasticFlow
+// (package core), the baseline policies (package baselines) and the
+// discrete-event simulator (package sim).
+package sched
+
+import "github.com/elasticflow/elasticflow/internal/job"
+
+// Decision is the outcome of one scheduling event.
+type Decision struct {
+	// Alloc is the desired worker count per active job ID. Jobs absent
+	// from the map are suspended. The sum of counts never exceeds the
+	// cluster capacity.
+	Alloc map[string]int
+	// Wake, when non-zero, is the absolute time at which the scheduler
+	// wants to run again even if no job arrives or completes — e.g. a
+	// planned allocation change at a slot boundary.
+	Wake float64
+}
+
+// Scheduler is a cluster scheduling policy. Implementations must be
+// deterministic: the simulator may invoke them repeatedly with equal inputs.
+type Scheduler interface {
+	// Name identifies the policy in results and reports.
+	Name() string
+	// Admit decides whether a newly submitted job is accepted. active
+	// holds the admitted, incomplete jobs (not including cand).
+	// Policies without admission control return true unconditionally.
+	Admit(now float64, cand *job.Job, active []*job.Job, g int) bool
+	// Schedule recomputes worker counts for the active jobs at a
+	// scheduling event (arrival, completion, or requested wake-up).
+	Schedule(now float64, active []*job.Job, g int) Decision
+}

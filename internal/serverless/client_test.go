@@ -1,0 +1,93 @@
+package serverless
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newClientFixture(t *testing.T) (*Client, *fakeClock, func()) {
+	t.Helper()
+	p, clk := newTestPlatform(t)
+	srv := httptest.NewServer(Handler(p))
+	return NewClient(srv.URL), clk, srv.Close
+}
+
+func TestClientSubmitGetCancel(t *testing.T) {
+	c, clk, done := newClientFixture(t)
+	defer done()
+
+	st, err := c.Submit(SubmitRequest{Model: "resnet50", GlobalBatch: 128, Iterations: 50000, DeadlineSeconds: 7200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.GPUs == 0 {
+		t.Fatalf("unexpected submit status: %+v", st)
+	}
+
+	clk.advance(time.Minute)
+	got, err := c.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DoneIters <= 0 {
+		t.Error("no progress reported")
+	}
+
+	list, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 {
+		t.Fatalf("list has %d entries want 1", len(list))
+	}
+
+	if err := c.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := c.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.FreeGPUs != cs.TotalGPUs {
+		t.Errorf("GPUs not freed after cancel: %d/%d", cs.FreeGPUs, cs.TotalGPUs)
+	}
+}
+
+func TestClientDroppedSubmission(t *testing.T) {
+	c, _, done := newClientFixture(t)
+	defer done()
+
+	st, err := c.Submit(SubmitRequest{Model: "gpt2", GlobalBatch: 256, Iterations: 1e9, DeadlineSeconds: 30})
+	if err == nil {
+		t.Fatal("expected admission rejection error")
+	}
+	if !IsDropped(err) {
+		t.Fatalf("error %v not recognized as a drop", err)
+	}
+	if st.State != "dropped" {
+		t.Errorf("status state=%q want dropped", st.State)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	c, _, done := newClientFixture(t)
+	defer done()
+
+	if _, err := c.Get("ghost"); err == nil || IsDropped(err) {
+		t.Errorf("Get(ghost) err = %v, want non-drop error", err)
+	}
+	if err := c.Cancel("ghost"); err == nil {
+		t.Error("Cancel(ghost) succeeded")
+	}
+	if _, err := c.Submit(SubmitRequest{Model: "unknown"}); err == nil || IsDropped(err) {
+		t.Errorf("Submit(bad) err = %v, want validation error", err)
+	}
+}
+
+func TestClientUnreachable(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1") // nothing listens here
+	if _, err := c.Cluster(); err == nil {
+		t.Error("unreachable server produced no error")
+	}
+}

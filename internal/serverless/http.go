@@ -1,0 +1,102 @@
+package serverless
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the HTTP control plane for the platform:
+//
+//	POST   /v1/jobs        submit a training function
+//	GET    /v1/jobs        list jobs
+//	GET    /v1/jobs/{id}   one job's status
+//	DELETE /v1/jobs/{id}   cancel a job
+//	GET    /v1/cluster     cluster summary
+//	GET    /v1/plan        planned future allocations (Algorithm 2 output)
+//
+// It stands in for the prototype's gRPC control messages (§5) using only
+// the standard library.
+func Handler(p *Platform) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			var req SubmitRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			st, err := p.Submit(req)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			code := http.StatusCreated
+			if st.State == "dropped" {
+				// Admission control rejected the deadline; the job
+				// record exists for inspection but will not run.
+				code = http.StatusConflict
+			}
+			writeJSON(w, code, st)
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, p.List())
+		default:
+			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+		}
+	})
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+		if id == "" {
+			writeError(w, http.StatusBadRequest, errors.New("missing job id"))
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			st, err := p.Get(id)
+			if err != nil {
+				writeError(w, http.StatusNotFound, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, st)
+		case http.MethodDelete:
+			if err := p.Cancel(id); err != nil {
+				writeError(w, http.StatusNotFound, err)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or DELETE"))
+		}
+	})
+	mux.HandleFunc("/v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+			return
+		}
+		writeJSON(w, http.StatusOK, p.Plans())
+	})
+	mux.HandleFunc("/v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+			return
+		}
+		writeJSON(w, http.StatusOK, p.Cluster())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}

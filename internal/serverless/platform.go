@@ -1,0 +1,487 @@
+// Package serverless is the deadline-driven serverless front end of §3.1: a
+// platform that accepts training functions (model, hyperparameters,
+// termination condition, deadline — never a GPU count), admits them through
+// ElasticFlow's admission control, and elastically schedules the admitted
+// jobs over a virtual cluster, plus an HTTP/JSON control plane standing in
+// for the prototype's gRPC one.
+package serverless
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/elasticflow/elasticflow/internal/core"
+	"github.com/elasticflow/elasticflow/internal/job"
+	"github.com/elasticflow/elasticflow/internal/model"
+	"github.com/elasticflow/elasticflow/internal/throughput"
+	"github.com/elasticflow/elasticflow/internal/topology"
+)
+
+// SubmitRequest is the serverless function a DL developer submits (§3.1).
+// Note what is absent: any notion of machines or GPU counts.
+type SubmitRequest struct {
+	// User identifies the submitting developer; operator policies
+	// (quotas, pricing, §4.4) key on it. Optional.
+	User string `json:"user,omitempty"`
+	// Model is a Table 1 model name.
+	Model string `json:"model"`
+	// GlobalBatch is the training hyperparameter; the platform derives
+	// per-worker local batches from it.
+	GlobalBatch int `json:"global_batch"`
+	// Iterations is the termination condition (maximum iterations).
+	Iterations float64 `json:"iterations"`
+	// DeadlineSeconds is the deadline relative to submission. Ignored
+	// for best-effort jobs.
+	DeadlineSeconds float64 `json:"deadline_seconds"`
+	// BestEffort submits the job without a deadline (§4.4).
+	BestEffort bool `json:"best_effort,omitempty"`
+	// SoftDeadline marks the deadline as soft: the job is always
+	// admitted but only SLO jobs get guarantees (§4.4).
+	SoftDeadline bool `json:"soft_deadline,omitempty"`
+}
+
+// JobStatus is the externally visible job state.
+type JobStatus struct {
+	ID            string  `json:"id"`
+	User          string  `json:"user,omitempty"`
+	Model         string  `json:"model"`
+	GlobalBatch   int     `json:"global_batch"`
+	State         string  `json:"state"`
+	Class         string  `json:"class"`
+	GPUs          int     `json:"gpus"`
+	LocalBatch    int     `json:"local_batch,omitempty"`
+	DoneIters     float64 `json:"done_iters"`
+	TotalIters    float64 `json:"total_iters"`
+	SubmitTime    float64 `json:"submit_time"`
+	Deadline      float64 `json:"deadline,omitempty"`
+	EstimatedDone float64 `json:"estimated_done,omitempty"`
+	Completion    float64 `json:"completion,omitempty"`
+	Placement     string  `json:"placement,omitempty"`
+	// EarliestFeasibleSec is set on dropped submissions: the relative
+	// deadline (seconds from submission) admission control could have
+	// guaranteed instead — the platform's counter-offer.
+	EarliestFeasibleSec float64 `json:"earliest_feasible_sec,omitempty"`
+}
+
+// ClusterStatus summarizes the virtual cluster.
+type ClusterStatus struct {
+	TotalGPUs   int     `json:"total_gpus"`
+	FreeGPUs    int     `json:"free_gpus"`
+	Running     int     `json:"running_jobs"`
+	Admitted    int     `json:"admitted_jobs"`
+	Completed   int     `json:"completed_jobs"`
+	Dropped     int     `json:"dropped_jobs"`
+	PlatformSec float64 `json:"platform_sec"`
+}
+
+// Options configures a Platform.
+type Options struct {
+	// Topology describes the virtual cluster (default 2 servers × 8).
+	Topology topology.Config
+	// Scheduler overrides the ElasticFlow configuration.
+	Scheduler *core.ElasticFlow
+	// Hardware sets the performance model (default DefaultA100).
+	Hardware *model.Hardware
+	// TimeScale is how many platform-seconds elapse per wall second
+	// (default 1). Large values fast-forward demo runs.
+	TimeScale float64
+	// Clock overrides the time source (tests). It must be monotonic.
+	Clock func() time.Time
+	// Observer, when non-nil, receives the worker-count snapshot after
+	// every rescheduling — the hook the elastic training executor
+	// (package executor / package agent) plugs into, closing the loop of
+	// Fig. 1. It is invoked with the platform lock held; observers must
+	// not call back into the platform.
+	Observer func(alloc map[string]int)
+}
+
+// Platform is the running serverless service. All methods are safe for
+// concurrent use.
+type Platform struct {
+	mu       sync.Mutex
+	ef       *core.ElasticFlow
+	cluster  *topology.Cluster
+	est      throughput.Estimator
+	prof     *throughput.Profiler
+	clock    func() time.Time
+	start    time.Time
+	scale    float64
+	lastTick float64
+
+	seq       int
+	active    []*job.Job
+	all       map[string]*job.Job
+	completed int
+	dropped   int
+	observer  func(map[string]int)
+}
+
+// NewPlatform creates a platform over a fresh virtual cluster.
+func NewPlatform(opts Options) (*Platform, error) {
+	if opts.Topology.Servers == 0 {
+		opts.Topology = topology.Config{Servers: 2, GPUsPerServer: 8}
+	}
+	cluster, err := topology.New(opts.Topology)
+	if err != nil {
+		return nil, err
+	}
+	hw := model.DefaultA100()
+	if opts.Hardware != nil {
+		hw = *opts.Hardware
+	}
+	ef := opts.Scheduler
+	if ef == nil {
+		ef = core.NewDefault()
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	scale := opts.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	est := throughput.NewEstimator(hw)
+	return &Platform{
+		observer: opts.Observer,
+		ef:       ef,
+		cluster:  cluster,
+		est:      est,
+		prof:     throughput.NewProfiler(est, opts.Topology.GPUsPerServer, cluster.TotalGPUs()),
+		clock:    clock,
+		start:    clock(),
+		scale:    scale,
+		all:      make(map[string]*job.Job),
+	}, nil
+}
+
+// Now returns the platform clock in seconds.
+func (p *Platform) Now() float64 {
+	return p.clock().Sub(p.start).Seconds() * p.scale
+}
+
+// Submit profiles, validates and admits a job (§3.1). The returned status
+// reports whether the job was admitted or dropped.
+func (p *Platform) Submit(req SubmitRequest) (JobStatus, error) {
+	spec, err := model.ByName(req.Model)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if !spec.SupportsBatch(req.GlobalBatch) {
+		return JobStatus{}, fmt.Errorf("serverless: model %s does not support global batch %d (Table 1 pool: %v)", req.Model, req.GlobalBatch, spec.BatchSizes)
+	}
+	if req.Iterations <= 0 {
+		return JobStatus{}, fmt.Errorf("serverless: iterations must be positive")
+	}
+	if !req.BestEffort && req.DeadlineSeconds <= 0 {
+		return JobStatus{}, fmt.Errorf("serverless: deadline must be positive for SLO jobs")
+	}
+	prof, _, err := p.prof.Profile(spec, req.GlobalBatch)
+	if err != nil {
+		return JobStatus{}, err
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advanceLocked()
+	now := p.lastTick
+
+	p.seq++
+	j := &job.Job{
+		ID:                 fmt.Sprintf("job-%04d", p.seq),
+		User:               req.User,
+		Model:              spec,
+		GlobalBatch:        req.GlobalBatch,
+		TotalIters:         req.Iterations,
+		SubmitTime:         now,
+		Deadline:           now + req.DeadlineSeconds,
+		Class:              job.SLO,
+		Curve:              prof.Curve,
+		MinGPUs:            prof.MinGPUs,
+		MaxGPUs:            prof.MaxGPUs,
+		RescaleOverheadSec: p.est.RescaleOverhead(spec),
+	}
+	switch {
+	case req.BestEffort:
+		j.Class = job.BestEffort
+		j.Deadline = math.Inf(1)
+	case req.SoftDeadline:
+		j.Class = job.SoftDeadline
+	}
+	if err := j.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	p.all[j.ID] = j
+	if p.ef.Admit(now, j, p.active, p.cluster.TotalGPUs()) {
+		j.State = job.Admitted
+		p.active = append(p.active, j)
+		p.rescheduleLocked(now)
+	} else {
+		j.State = job.Dropped
+		p.dropped++
+		st := p.statusLocked(j)
+		if dl, ok := p.ef.EarliestDeadline(now, j, p.active, p.cluster.TotalGPUs()); ok {
+			st.EarliestFeasibleSec = dl - now
+		}
+		return st, nil
+	}
+	return p.statusLocked(j), nil
+}
+
+// Get returns one job's status.
+func (p *Platform) Get(id string) (JobStatus, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advanceLocked()
+	j, ok := p.all[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("serverless: unknown job %q", id)
+	}
+	return p.statusLocked(j), nil
+}
+
+// List returns all jobs, newest first.
+func (p *Platform) List() []JobStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advanceLocked()
+	out := make([]JobStatus, 0, len(p.all))
+	for _, j := range p.all {
+		out = append(out, p.statusLocked(j))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID > out[k].ID })
+	return out
+}
+
+// Cancel removes a job from the platform.
+func (p *Platform) Cancel(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advanceLocked()
+	j, ok := p.all[id]
+	if !ok {
+		return fmt.Errorf("serverless: unknown job %q", id)
+	}
+	if j.State == job.Admitted || j.State == job.Running {
+		p.removeActiveLocked(id)
+		if _, owned := p.cluster.Placement(id); owned {
+			if err := p.cluster.Release(id); err != nil {
+				return err
+			}
+		}
+		j.State = job.Dropped
+		p.rescheduleLocked(p.lastTick)
+	}
+	return nil
+}
+
+// Cluster returns the cluster summary.
+func (p *Platform) Cluster() ClusterStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advanceLocked()
+	running := 0
+	for _, j := range p.active {
+		if j.GPUs > 0 {
+			running++
+		}
+	}
+	return ClusterStatus{
+		TotalGPUs:   p.cluster.TotalGPUs(),
+		FreeGPUs:    p.cluster.FreeGPUs(),
+		Running:     running,
+		Admitted:    len(p.active),
+		Completed:   p.completed,
+		Dropped:     p.dropped,
+		PlatformSec: p.lastTick,
+	}
+}
+
+// PlanEntry is one job's planned allocation over future slots — the output
+// of Algorithm 2 exposed for observability. Levels[t] is the worker count
+// planned for [now + t·SlotSec, now + (t+1)·SlotSec).
+type PlanEntry struct {
+	JobID     string  `json:"job_id"`
+	SlotSec   float64 `json:"slot_sec"`
+	Levels    []int   `json:"levels"`
+	Satisfied bool    `json:"satisfied"`
+	FinishSec float64 `json:"finish_sec"`
+}
+
+// Plans returns the scheduler's current allocation plan per active job.
+func (p *Platform) Plans() []PlanEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advanceLocked()
+	plans := p.ef.Plans(p.lastTick, p.active, p.cluster.TotalGPUs())
+	out := make([]PlanEntry, 0, len(plans))
+	for id, a := range plans {
+		out = append(out, PlanEntry{
+			JobID:     id,
+			SlotSec:   p.ef.SlotSec(),
+			Levels:    a.Levels,
+			Satisfied: a.Satisfied,
+			FinishSec: p.lastTick + a.FinishTime(p.ef.SlotSec()),
+		})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].JobID < out[k].JobID })
+	return out
+}
+
+// Tick advances the platform to the current clock reading, completing jobs
+// and rescheduling; the server calls it periodically.
+func (p *Platform) Tick() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advanceLocked()
+}
+
+// advanceLocked accrues progress since the last tick, retires completed
+// jobs, and reschedules if anything changed.
+func (p *Platform) advanceLocked() {
+	now := p.Now()
+	dt := now - p.lastTick
+	if dt <= 0 {
+		return
+	}
+	changed := false
+	for _, j := range p.active {
+		j.Advance(p.lastTick, dt)
+	}
+	kept := p.active[:0]
+	for _, j := range p.active {
+		if !j.Done() {
+			kept = append(kept, j)
+			continue
+		}
+		j.State = job.Completed
+		j.CompletionTime = now // conservative: completion observed at tick
+		j.GPUs = 0
+		if _, owned := p.cluster.Placement(j.ID); owned {
+			if err := p.cluster.Release(j.ID); err != nil {
+				panic(err)
+			}
+		}
+		p.completed++
+		changed = true
+	}
+	p.active = kept
+	p.lastTick = now
+	if changed {
+		p.rescheduleLocked(now)
+	}
+}
+
+// rescheduleLocked applies a fresh scheduling decision.
+func (p *Platform) rescheduleLocked(now float64) {
+	dec := p.ef.Schedule(now, p.active, p.cluster.TotalGPUs())
+	// Shrink/release first, then grow (buddy-friendly ordering).
+	for _, j := range p.active {
+		if ng := dec.Alloc[j.ID]; ng != j.GPUs {
+			if _, owned := p.cluster.Placement(j.ID); owned {
+				if err := p.cluster.Release(j.ID); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	ordered := append([]*job.Job{}, p.active...)
+	sort.Slice(ordered, func(i, k int) bool { return dec.Alloc[ordered[i].ID] > dec.Alloc[ordered[k].ID] })
+	defer p.notifyLocked()
+	for _, j := range ordered {
+		ng := dec.Alloc[j.ID]
+		if ng == j.GPUs {
+			continue
+		}
+		if ng > 0 {
+			if _, _, err := p.cluster.AllocateWithMigration(j.ID, ng); err != nil {
+				panic(err)
+			}
+			started := j.GPUs > 0 || j.DoneIters > 0
+			if started {
+				j.FrozenUntil = now + j.RescaleOverheadSec
+			}
+			j.State = job.Running
+		} else {
+			j.State = job.Admitted
+		}
+		j.GPUs = ng
+	}
+}
+
+// Allocations returns the current worker-count snapshot per active job —
+// what the observer hook would deliver, fetchable on demand (e.g. right
+// after registering an executor for a freshly admitted job).
+func (p *Platform) Allocations() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advanceLocked()
+	alloc := make(map[string]int, len(p.active))
+	for _, j := range p.active {
+		alloc[j.ID] = j.GPUs
+	}
+	return alloc
+}
+
+// PlacementOf returns the buddy block a running job occupies.
+func (p *Platform) PlacementOf(id string) (topology.Block, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cluster.Placement(id)
+}
+
+// notifyLocked pushes the current allocation snapshot to the observer.
+func (p *Platform) notifyLocked() {
+	if p.observer == nil {
+		return
+	}
+	alloc := make(map[string]int, len(p.active))
+	for _, j := range p.active {
+		alloc[j.ID] = j.GPUs
+	}
+	p.observer(alloc)
+}
+
+func (p *Platform) removeActiveLocked(id string) {
+	kept := p.active[:0]
+	for _, j := range p.active {
+		if j.ID != id {
+			kept = append(kept, j)
+		}
+	}
+	p.active = kept
+}
+
+func (p *Platform) statusLocked(j *job.Job) JobStatus {
+	s := JobStatus{
+		ID:          j.ID,
+		User:        j.User,
+		Model:       j.Model.Name,
+		GlobalBatch: j.GlobalBatch,
+		State:       j.State.String(),
+		Class:       j.Class.String(),
+		GPUs:        j.GPUs,
+		DoneIters:   j.DoneIters,
+		TotalIters:  j.TotalIters,
+		SubmitTime:  j.SubmitTime,
+	}
+	if j.HasDeadline() {
+		s.Deadline = j.Deadline
+	}
+	if j.GPUs > 0 {
+		s.LocalBatch = j.GlobalBatch / j.GPUs
+		if tput := j.Throughput(j.GPUs); tput > 0 {
+			s.EstimatedDone = p.lastTick + j.RemainingIters()/tput
+		}
+		if b, ok := p.cluster.Placement(j.ID); ok {
+			s.Placement = b.String()
+		}
+	}
+	if j.State == job.Completed {
+		s.Completion = j.CompletionTime
+	}
+	return s
+}

@@ -1,0 +1,393 @@
+package serverless
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/elasticflow/elasticflow/internal/core"
+	"github.com/elasticflow/elasticflow/internal/policy"
+	"github.com/elasticflow/elasticflow/internal/topology"
+)
+
+// fakeClock lets tests advance platform time deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestPlatform(t *testing.T) (*Platform, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	p, err := NewPlatform(Options{
+		Topology: topology.Config{Servers: 2, GPUsPerServer: 8},
+		Clock:    clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, clk
+}
+
+func TestSubmitValidation(t *testing.T) {
+	p, _ := newTestPlatform(t)
+	cases := []SubmitRequest{
+		{Model: "nope", GlobalBatch: 64, Iterations: 100, DeadlineSeconds: 3600},
+		{Model: "resnet50", GlobalBatch: 99, Iterations: 100, DeadlineSeconds: 3600},
+		{Model: "resnet50", GlobalBatch: 64, Iterations: 0, DeadlineSeconds: 3600},
+		{Model: "resnet50", GlobalBatch: 64, Iterations: 100, DeadlineSeconds: 0},
+	}
+	for i, req := range cases {
+		if _, err := p.Submit(req); err == nil {
+			t.Errorf("case %d: invalid request accepted", i)
+		}
+	}
+}
+
+func TestSubmitAdmitAndRun(t *testing.T) {
+	p, clk := newTestPlatform(t)
+	st, err := p.Submit(SubmitRequest{Model: "resnet50", GlobalBatch: 128, Iterations: 10000, DeadlineSeconds: 7200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "running" && st.State != "admitted" {
+		t.Fatalf("state=%s want running/admitted", st.State)
+	}
+	if st.GPUs == 0 {
+		t.Error("admitted job got no GPUs on an idle cluster")
+	}
+	if st.LocalBatch*st.GPUs != 128 {
+		t.Errorf("local batch %d × %d GPUs ≠ global batch 128", st.LocalBatch, st.GPUs)
+	}
+	if st.Placement == "" {
+		t.Error("running job has no placement")
+	}
+	// Advance past the predicted completion.
+	clk.advance(2 * time.Hour)
+	got, err := p.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != "completed" {
+		t.Errorf("state=%s want completed after 2h", got.State)
+	}
+	cs := p.Cluster()
+	if cs.FreeGPUs != cs.TotalGPUs {
+		t.Errorf("GPUs not released after completion: %d free of %d", cs.FreeGPUs, cs.TotalGPUs)
+	}
+}
+
+func TestSubmitImpossibleDeadlineDropped(t *testing.T) {
+	p, _ := newTestPlatform(t)
+	st, err := p.Submit(SubmitRequest{Model: "gpt2", GlobalBatch: 256, Iterations: 1e9, DeadlineSeconds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "dropped" {
+		t.Errorf("state=%s want dropped (deadline unsatisfiable)", st.State)
+	}
+}
+
+func TestBestEffortAdmitted(t *testing.T) {
+	p, _ := newTestPlatform(t)
+	st, err := p.Submit(SubmitRequest{Model: "bert", GlobalBatch: 64, Iterations: 1e7, BestEffort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Class != "best-effort" || st.State == "dropped" {
+		t.Errorf("best-effort submission: class=%s state=%s", st.Class, st.State)
+	}
+	if st.Deadline != 0 {
+		t.Errorf("best-effort job has deadline %v", st.Deadline)
+	}
+}
+
+func TestCancelFreesGPUs(t *testing.T) {
+	p, _ := newTestPlatform(t)
+	st, err := p.Submit(SubmitRequest{Model: "resnet50", GlobalBatch: 128, Iterations: 1e8, DeadlineSeconds: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	cs := p.Cluster()
+	if cs.FreeGPUs != cs.TotalGPUs {
+		t.Errorf("cancel did not free GPUs: %d/%d", cs.FreeGPUs, cs.TotalGPUs)
+	}
+	if err := p.Cancel("nonexistent"); err == nil {
+		t.Error("cancel of unknown job succeeded")
+	}
+}
+
+func TestElasticDownscaleOnContention(t *testing.T) {
+	p, clk := newTestPlatform(t)
+	first, err := p.Submit(SubmitRequest{Model: "resnet50", GlobalBatch: 256, Iterations: 5e6, DeadlineSeconds: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.GPUs < 8 {
+		t.Fatalf("lone job got %d GPUs, expected generous expansion", first.GPUs)
+	}
+	clk.advance(time.Minute)
+	// A tight-deadline job arrives; the first job must shrink.
+	second, err := p.Submit(SubmitRequest{Model: "vgg16", GlobalBatch: 256, Iterations: 50000, DeadlineSeconds: 1800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.State == "dropped" {
+		t.Skip("second job not admissible in this configuration")
+	}
+	got, err := p.Get(first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GPUs+second.GPUs > 16 {
+		t.Errorf("overcommitted: %d + %d > 16", got.GPUs, second.GPUs)
+	}
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	p, clk := newTestPlatform(t)
+	srv := httptest.NewServer(Handler(p))
+	defer srv.Close()
+
+	// Submit.
+	body, _ := json.Marshal(SubmitRequest{Model: "resnet50", GlobalBatch: 64, Iterations: 5000, DeadlineSeconds: 3600})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status=%d want 201", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Status.
+	clk.advance(30 * time.Second)
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.DoneIters <= 0 {
+		t.Error("no progress after 30s")
+	}
+
+	// List.
+	resp, err = http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 {
+		t.Fatalf("list has %d jobs want 1", len(list))
+	}
+
+	// Cluster.
+	resp, err = http.Get(srv.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs ClusterStatus
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cs.TotalGPUs != 16 {
+		t.Errorf("total GPUs=%d want 16", cs.TotalGPUs)
+	}
+
+	// Cancel.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("cancel status=%d want 204", resp.StatusCode)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	p, _ := newTestPlatform(t)
+	srv := httptest.NewServer(Handler(p))
+	defer srv.Close()
+
+	// Bad JSON.
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON status=%d want 400", resp.StatusCode)
+	}
+
+	// Unknown job.
+	resp, err = http.Get(srv.URL + "/v1/jobs/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status=%d want 404", resp.StatusCode)
+	}
+
+	// Dropped submission returns 409.
+	body, _ := json.Marshal(SubmitRequest{Model: "gpt2", GlobalBatch: 256, Iterations: 1e9, DeadlineSeconds: 30})
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("dropped submission status=%d want 409", resp.StatusCode)
+	}
+
+	// Method not allowed.
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/cluster", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PUT status=%d want 405", resp.StatusCode)
+	}
+}
+
+func TestQuotaPolicyEndToEnd(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	quota := policy.NewUserQuota(1, 86400)
+	p, err := NewPlatform(Options{
+		Topology:  topology.Config{Servers: 2, GPUsPerServer: 8},
+		Clock:     clk.now,
+		Scheduler: core.New(core.Options{PowerOfTwo: true, Quota: policy.Chain(quota)}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := SubmitRequest{User: "zoe", Model: "resnet50", GlobalBatch: 128, Iterations: 50000, DeadlineSeconds: 7200}
+	st, err := p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State == "dropped" {
+		t.Fatalf("first submission dropped: %+v", st)
+	}
+	if st.User != "zoe" {
+		t.Errorf("status user=%q", st.User)
+	}
+	st2, err := p.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != "dropped" {
+		t.Errorf("quota-violating submission state=%s want dropped", st2.State)
+	}
+}
+
+func TestPlansEndpoint(t *testing.T) {
+	p, _ := newTestPlatform(t)
+	st, err := p.Submit(SubmitRequest{Model: "resnet50", GlobalBatch: 128, Iterations: 1e6, DeadlineSeconds: 86400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := p.Plans()
+	if len(plans) != 1 {
+		t.Fatalf("got %d plans want 1", len(plans))
+	}
+	pe := plans[0]
+	if pe.JobID != st.ID || pe.SlotSec <= 0 {
+		t.Errorf("plan entry %+v", pe)
+	}
+	if len(pe.Levels) == 0 || pe.Levels[0] != st.GPUs {
+		t.Errorf("plan slot 0 = %v, job runs %d GPUs", pe.Levels, st.GPUs)
+	}
+	// Over HTTP.
+	srv := httptest.NewServer(Handler(p))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got []PlanEntry
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].JobID != st.ID {
+		t.Errorf("HTTP plan = %+v", got)
+	}
+}
+
+func TestObserverReceivesAllocations(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	var snapshots []map[string]int
+	p, err := NewPlatform(Options{
+		Topology: topology.Config{Servers: 2, GPUsPerServer: 8},
+		Clock:    clk.now,
+		Observer: func(alloc map[string]int) {
+			cp := make(map[string]int, len(alloc))
+			for k, v := range alloc {
+				cp[k] = v
+			}
+			snapshots = append(snapshots, cp)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Submit(SubmitRequest{Model: "resnet50", GlobalBatch: 128, Iterations: 50000, DeadlineSeconds: 7200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snapshots) == 0 {
+		t.Fatal("observer never invoked")
+	}
+	last := snapshots[len(snapshots)-1]
+	if last[st.ID] != st.GPUs {
+		t.Errorf("observer saw %v, status says %d GPUs", last, st.GPUs)
+	}
+}
+
+func TestDroppedSubmissionCounterOffer(t *testing.T) {
+	p, _ := newTestPlatform(t)
+	// Impossibly tight deadline, but finite work: the platform should
+	// counter-offer the earliest deadline it can guarantee.
+	st, err := p.Submit(SubmitRequest{Model: "bert", GlobalBatch: 128, Iterations: 1e6, DeadlineSeconds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "dropped" {
+		t.Fatalf("state=%s want dropped", st.State)
+	}
+	if st.EarliestFeasibleSec <= 60 {
+		t.Errorf("counter-offer %.0f should exceed the rejected 60s deadline", st.EarliestFeasibleSec)
+	}
+	// Resubmitting with the counter-offer must be admitted.
+	st2, err := p.Submit(SubmitRequest{Model: "bert", GlobalBatch: 128, Iterations: 1e6, DeadlineSeconds: st.EarliestFeasibleSec + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State == "dropped" {
+		t.Errorf("counter-offered deadline %.0f rejected on resubmission", st.EarliestFeasibleSec)
+	}
+}

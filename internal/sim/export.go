@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// WriteJobsCSV writes one row per job: the raw material behind the DSR and
+// JCT figures, for offline analysis and plotting.
+func (r Result) WriteJobsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"id", "class", "submit_sec", "deadline_sec", "completion_sec", "dropped", "finished", "met", "gpu_seconds", "rescales"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, j := range r.Jobs {
+		deadline := ""
+		if !math.IsInf(j.Deadline, 1) {
+			deadline = fmt.Sprintf("%.3f", j.Deadline)
+		}
+		row := []string{
+			j.ID,
+			j.Class.String(),
+			fmt.Sprintf("%.3f", j.Submit),
+			deadline,
+			fmt.Sprintf("%.3f", j.Completion),
+			fmt.Sprintf("%t", j.Dropped),
+			fmt.Sprintf("%t", j.Finished),
+			fmt.Sprintf("%t", j.Met),
+			fmt.Sprintf("%.3f", j.GPUSeconds),
+			fmt.Sprintf("%d", j.Rescales),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTimelineCSV writes one row per timeline sample: the series behind
+// Figs. 7 and 10.
+func (r Result) WriteTimelineCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_sec", "used_gpus", "cluster_efficiency", "submitted", "admitted", "running", "completed", "dropped"}); err != nil {
+		return err
+	}
+	for _, s := range r.Samples {
+		row := []string{
+			fmt.Sprintf("%.3f", s.Time),
+			fmt.Sprintf("%d", s.UsedGPUs),
+			fmt.Sprintf("%.5f", s.ClusterEfficiency),
+			fmt.Sprintf("%d", s.Submitted),
+			fmt.Sprintf("%d", s.Admitted),
+			fmt.Sprintf("%d", s.Running),
+			fmt.Sprintf("%d", s.Completed),
+			fmt.Sprintf("%d", s.Dropped),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JCTStats summarizes completion times of finished jobs.
+type JCTStats struct {
+	Count int
+	Mean  float64
+	P50   float64
+	P90   float64
+	P99   float64
+	Max   float64
+}
+
+// JCTStatsFor computes JCT statistics over the finished jobs matched by
+// keep (nil keeps every finished job).
+func (r Result) JCTStatsFor(keep func(JobResult) bool) JCTStats {
+	var jcts []float64
+	for _, j := range r.Jobs {
+		if !j.Finished {
+			continue
+		}
+		if keep != nil && !keep(j) {
+			continue
+		}
+		jcts = append(jcts, j.JCT())
+	}
+	if len(jcts) == 0 {
+		return JCTStats{}
+	}
+	sort.Float64s(jcts)
+	sum := 0.0
+	for _, v := range jcts {
+		sum += v
+	}
+	q := func(p float64) float64 {
+		idx := int(p * float64(len(jcts)-1))
+		return jcts[idx]
+	}
+	return JCTStats{
+		Count: len(jcts),
+		Mean:  sum / float64(len(jcts)),
+		P50:   q(0.50),
+		P90:   q(0.90),
+		P99:   q(0.99),
+		Max:   jcts[len(jcts)-1],
+	}
+}

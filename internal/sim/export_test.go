@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/job"
+)
+
+func exportFixture(t *testing.T) Result {
+	t.Helper()
+	jobs := []*job.Job{
+		simpleJob("a", 100, 0, 1000),
+		simpleJob("b", 200, 10, 50), // will be late
+	}
+	res, err := Run(Config{Topology: smallTopology(), Scheduler: fixedScheduler{1}, SampleSec: 20}, jobs, "export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteJobsCSV(t *testing.T) {
+	res := exportFixture(t)
+	var buf bytes.Buffer
+	if err := res.WriteJobsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 { // header + 2 jobs
+		t.Fatalf("got %d rows want 3", len(records))
+	}
+	if records[0][0] != "id" {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][0] != "a" || records[2][0] != "b" {
+		t.Errorf("job order = %s, %s", records[1][0], records[2][0])
+	}
+}
+
+func TestWriteJobsCSVInfiniteDeadline(t *testing.T) {
+	be := simpleJob("be", 50, 0, 0)
+	be.Class = job.BestEffort
+	be.Deadline = testInf()
+	res, err := Run(Config{Topology: smallTopology(), Scheduler: fixedScheduler{1}}, []*job.Job{be}, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJobsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The deadline cell of a best-effort job is empty, not "+Inf".
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.Contains(lines[1], ",,") {
+		t.Errorf("best-effort row should have an empty deadline: %s", lines[1])
+	}
+}
+
+func TestWriteTimelineCSV(t *testing.T) {
+	res := exportFixture(t)
+	var buf bytes.Buffer
+	if err := res.WriteTimelineCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) < 3 {
+		t.Fatalf("expected samples, got %d rows", len(records))
+	}
+}
+
+func TestJCTStats(t *testing.T) {
+	res := exportFixture(t)
+	stats := res.JCTStatsFor(nil)
+	if stats.Count != 2 {
+		t.Fatalf("Count=%d want 2", stats.Count)
+	}
+	if stats.P50 > stats.P90 || stats.P90 > stats.P99 || stats.P99 > stats.Max {
+		t.Errorf("percentiles not monotone: %+v", stats)
+	}
+	if stats.Mean <= 0 {
+		t.Errorf("Mean=%v", stats.Mean)
+	}
+	only := res.JCTStatsFor(func(j JobResult) bool { return j.ID == "a" })
+	if only.Count != 1 {
+		t.Errorf("filtered Count=%d want 1", only.Count)
+	}
+	none := res.JCTStatsFor(func(j JobResult) bool { return false })
+	if none.Count != 0 || none.Mean != 0 {
+		t.Errorf("empty stats = %+v", none)
+	}
+}
+
+func testInf() float64 { return math.Inf(1) }

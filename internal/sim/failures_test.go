@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/core"
+	"github.com/elasticflow/elasticflow/internal/job"
+	"github.com/elasticflow/elasticflow/internal/topology"
+)
+
+func TestFailureValidation(t *testing.T) {
+	cfg := Config{
+		Topology:  topology.Config{Servers: 2, GPUsPerServer: 8},
+		Scheduler: fixedScheduler{1},
+		Failures:  []Failure{{Server: 9, StartSec: 10, DurationSec: 10}},
+	}
+	if _, err := Run(cfg, nil, "t"); err == nil {
+		t.Error("out-of-range failure server accepted")
+	}
+}
+
+// TestFailureEvictsAndRecovers: a node failure mid-run costs capacity and
+// forces the affected job to restart elsewhere, but everything completes.
+func TestFailureEvictsAndRecovers(t *testing.T) {
+	// Two servers of 2 GPUs; jobs want 2 GPUs each.
+	topo := topology.Config{Servers: 2, GPUsPerServer: 2}
+	jobs := []*job.Job{
+		simpleJob("a", 1000, 0, 1e9),
+		simpleJob("b", 1000, 0, 1e9),
+	}
+	for _, j := range jobs {
+		j.MinGPUs = 2
+		j.MaxGPUs = 2
+	}
+	res, err := Run(Config{
+		Topology:  topo,
+		Scheduler: fixedScheduler{2},
+		Failures:  []Failure{{Server: 0, StartSec: 100, DurationSec: 200}},
+	}, jobs, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jr := range res.Jobs {
+		if !jr.Finished {
+			t.Errorf("job %s did not finish after the failure window", jr.ID)
+		}
+	}
+	// During the outage only one 2-GPU job fits: total completion must be
+	// later than the no-failure case (jobs at tput 1.5 finish at ~667s;
+	// with 200s of halved capacity, someone finishes later).
+	latest := 0.0
+	for _, jr := range res.Jobs {
+		if jr.Completion > latest {
+			latest = jr.Completion
+		}
+	}
+	if latest <= 667 {
+		t.Errorf("latest completion %.0f suggests the failure had no effect", latest)
+	}
+}
+
+// TestFailureCapacityRespected: while a server is down the scheduler never
+// receives more capacity than what remains up.
+func TestFailureCapacityRespected(t *testing.T) {
+	topo := topology.Config{Servers: 2, GPUsPerServer: 2}
+	jobs := []*job.Job{simpleJob("a", 5000, 0, 1e9)}
+	jobs[0].MaxGPUs = 4
+	ef := core.New(core.Options{SlotSec: 1, PowerOfTwo: true, SafetyRescales: -1})
+	res, err := Run(Config{
+		Topology:  topo,
+		Scheduler: ef,
+		Failures:  []Failure{{Server: 1, StartSec: 10, DurationSec: 1e6}},
+		SampleSec: 5,
+	}, jobs, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Samples {
+		if s.Time > 15 && s.UsedGPUs > 2 {
+			t.Errorf("t=%.0f: %d GPUs in use with a server down (max 2)", s.Time, s.UsedGPUs)
+		}
+	}
+	if !res.Jobs[0].Finished {
+		t.Error("job did not finish on the surviving server")
+	}
+}
+
+// TestFailureReserveProtectsGuarantees: with ReserveGPUs set, admitted jobs
+// survive a one-server outage; without it, the same workload misses
+// deadlines.
+func TestFailureReserveProtectsGuarantees(t *testing.T) {
+	topo := topology.Config{Servers: 2, GPUsPerServer: 2}
+	failures := []Failure{{Server: 1, StartSec: 50, DurationSec: 1e5}}
+	mk := func() []*job.Job {
+		var jobs []*job.Job
+		for i := 0; i < 3; i++ {
+			j := simpleJob(string(rune('a'+i)), 400, float64(i), 450)
+			j.MaxGPUs = 4
+			jobs = append(jobs, j)
+		}
+		return jobs
+	}
+	run := func(reserve int) Result {
+		ef := core.New(core.Options{SlotSec: 1, PowerOfTwo: true, SafetyRescales: -1, ReserveGPUs: reserve})
+		res, err := Run(Config{Topology: topo, Scheduler: ef, Failures: failures}, mk(), "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(0)
+	reserved := run(2)
+	// The reserved run must not admit more than the failure-tolerant
+	// capacity supports, so everything admitted still meets its deadline.
+	for _, jr := range reserved.Jobs {
+		if !jr.Dropped && !jr.Met {
+			t.Errorf("reserved run: admitted job %s missed its deadline", jr.ID)
+		}
+	}
+	if reserved.AdmittedCount() > plain.AdmittedCount() {
+		t.Errorf("reserve admitted more (%d) than no-reserve (%d)", reserved.AdmittedCount(), plain.AdmittedCount())
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/elasticflow/elasticflow/internal/core"
+	"github.com/elasticflow/elasticflow/internal/job"
+	"github.com/elasticflow/elasticflow/internal/throughput"
+	"github.com/elasticflow/elasticflow/internal/topology"
+)
+
+// TestGuaranteeProperty is the paper's §3.1 performance guarantee as a
+// randomized end-to-end property: whatever the workload, every job
+// ElasticFlow admits meets its deadline (the safety margin absorbs rescale
+// overheads).
+func TestGuaranteeProperty(t *testing.T) {
+	curve := throughput.MustCurve(map[int]float64{1: 1, 2: 1.8, 4: 3.1, 8: 4.8, 16: 6.0})
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		var jobs []*job.Job
+		clock := 0.0
+		for i := 0; i < n; i++ {
+			clock += rng.Float64() * 600
+			dur := 300 + rng.Float64()*3000 // seconds at 1 GPU
+			lambda := 0.5 + rng.Float64()
+			jobs = append(jobs, &job.Job{
+				ID:                 fmt.Sprintf("g%d", i),
+				GlobalBatch:        64,
+				TotalIters:         dur, // tput(1)=1 ⇒ iters = seconds
+				SubmitTime:         clock,
+				Deadline:           clock + lambda*dur,
+				Class:              job.SLO,
+				Curve:              curve,
+				MinGPUs:            1,
+				MaxGPUs:            16,
+				RescaleOverheadSec: 5 + rng.Float64()*20,
+			})
+		}
+		ef := core.New(core.Options{SlotSec: 30, PowerOfTwo: true})
+		res, err := Run(Config{
+			Topology:  topology.Config{Servers: 2, GPUsPerServer: 8},
+			Scheduler: ef,
+		}, jobs, "guarantee")
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for _, jr := range res.Jobs {
+			if !jr.Dropped && !jr.Met {
+				t.Logf("seed %d: admitted job %s missed (completion %.0f deadline %.0f, %d rescales)",
+					seed, jr.ID, jr.Completion, jr.Deadline, jr.Rescales)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,228 @@
+package throughput
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/elasticflow/elasticflow/internal/model"
+)
+
+// Curve is a job's scaling curve T(g): training throughput in iterations per
+// second as a function of its worker count under the best placement of that
+// count (the profiler measures power-of-two counts, matching buddy
+// placement). Curves are what admission control and resource
+// allocation consume (§4.1, §4.2); buddy placement guarantees the best
+// placement is achievable, so one curve per worker count suffices (§4.3).
+type Curve struct {
+	workers []int           // sorted power-of-two worker counts
+	tput    map[int]float64 // iterations/sec at each count
+}
+
+// NewCurve builds a curve from a worker-count → throughput map. Counts must
+// be positive (the profiler produces power-of-two points, matching buddy
+// placement, but the type supports arbitrary counts for the unit-increment
+// ablation and for exactly linear curves).
+func NewCurve(points map[int]float64) (Curve, error) {
+	if len(points) == 0 {
+		return Curve{}, fmt.Errorf("throughput: empty curve")
+	}
+	c := Curve{tput: make(map[int]float64, len(points))}
+	for g, t := range points {
+		if g <= 0 {
+			return Curve{}, fmt.Errorf("throughput: curve worker count %d must be positive", g)
+		}
+		if t <= 0 {
+			return Curve{}, fmt.Errorf("throughput: curve throughput %g at %d workers must be positive", t, g)
+		}
+		c.workers = append(c.workers, g)
+		c.tput[g] = t
+	}
+	sort.Ints(c.workers)
+	return c, nil
+}
+
+// MustCurve is NewCurve but panics on error; for tests and fixed fixtures.
+func MustCurve(points map[int]float64) Curve {
+	c, err := NewCurve(points)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Workers returns the worker counts the curve is defined on, ascending.
+func (c Curve) Workers() []int {
+	out := make([]int, len(c.workers))
+	copy(out, c.workers)
+	return out
+}
+
+// MinWorkers returns the smallest worker count on the curve.
+func (c Curve) MinWorkers() int {
+	if len(c.workers) == 0 {
+		return 0
+	}
+	return c.workers[0]
+}
+
+// MaxWorkers returns the largest worker count on the curve.
+func (c Curve) MaxWorkers() int {
+	if len(c.workers) == 0 {
+		return 0
+	}
+	return c.workers[len(c.workers)-1]
+}
+
+// At returns the throughput with g workers. Worker counts between curve
+// points are rounded down to the largest defined count ≤ g — a conservative
+// choice matching the power-of-two allocation discipline. At(0) = 0.
+func (c Curve) At(g int) float64 {
+	if g <= 0 || len(c.workers) == 0 {
+		return 0
+	}
+	// Find the largest defined count ≤ g.
+	i := sort.SearchInts(c.workers, g+1) - 1
+	if i < 0 {
+		return 0 // below the curve's minimum feasible worker count
+	}
+	return c.tput[c.workers[i]]
+}
+
+// Defined reports whether the curve has an exact point at g.
+func (c Curve) Defined(g int) bool {
+	_, ok := c.tput[g]
+	return ok
+}
+
+// Peak returns the worker count with the highest throughput and that
+// throughput. EDF-style policies scale jobs to this point ("as many GPUs as
+// a job can scale out without decreasing the throughput", §6.1).
+func (c Curve) Peak() (workers int, tput float64) {
+	for _, g := range c.workers {
+		if c.tput[g] > tput {
+			workers, tput = g, c.tput[g]
+		}
+	}
+	return workers, tput
+}
+
+// MaxUsefulWorkers returns the largest worker count worth allocating: the
+// smallest count whose throughput is within eps of the peak, so that adding
+// GPUs beyond it is waste. eps=0 returns the exact peak point.
+func (c Curve) MaxUsefulWorkers(eps float64) int {
+	_, peak := c.Peak()
+	for _, g := range c.workers {
+		if c.tput[g] >= peak*(1-eps) {
+			return g
+		}
+	}
+	return c.MaxWorkers()
+}
+
+// Concave reports whether throughput gains are non-increasing in the number
+// of workers across successive curve points — the diminishing-returns
+// property (§4.1) that makes the greedy allocation optimal. The comparison
+// normalizes gains by the worker-count step, since power-of-two curves have
+// geometric spacing.
+func (c Curve) Concave() bool {
+	for i := 2; i < len(c.workers); i++ {
+		g0, g1, g2 := c.workers[i-2], c.workers[i-1], c.workers[i]
+		slope1 := (c.tput[g1] - c.tput[g0]) / float64(g1-g0)
+		slope2 := (c.tput[g2] - c.tput[g1]) / float64(g2-g1)
+		if slope2 > slope1+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Monotone reports whether throughput never decreases with more workers.
+func (c Curve) Monotone() bool {
+	for i := 1; i < len(c.workers); i++ {
+		if c.tput[c.workers[i]] < c.tput[c.workers[i-1]]-1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalized returns the curve's throughputs divided by the throughput at
+// its minimum worker count, as plotted in Fig. 2(a).
+func (c Curve) Normalized() map[int]float64 {
+	out := make(map[int]float64, len(c.workers))
+	if len(c.workers) == 0 {
+		return out
+	}
+	base := c.tput[c.workers[0]]
+	for g, t := range c.tput {
+		out[g] = t / base
+	}
+	return out
+}
+
+// ScalingEfficiency returns throughput(g)/ (g/gMin · throughput(gMin)): the
+// fraction of linear scaling achieved at g workers (≤ 1 for concave curves).
+func (c Curve) ScalingEfficiency(g int) float64 {
+	if len(c.workers) == 0 || !c.Defined(g) {
+		return 0
+	}
+	gMin := c.workers[0]
+	base := c.tput[gMin]
+	linear := base * float64(g) / float64(gMin)
+	return c.tput[g] / linear
+}
+
+// Points returns a copy of the underlying map.
+func (c Curve) Points() map[int]float64 {
+	out := make(map[int]float64, len(c.tput))
+	for g, t := range c.tput {
+		out[g] = t
+	}
+	return out
+}
+
+// Truncate returns the curve restricted to worker counts in [lo, hi].
+func (c Curve) Truncate(lo, hi int) Curve {
+	pts := make(map[int]float64)
+	for g, t := range c.tput {
+		if g >= lo && g <= hi {
+			pts[g] = t
+		}
+	}
+	out, err := NewCurve(pts)
+	if err != nil {
+		return Curve{}
+	}
+	return out
+}
+
+// BuildCurve computes the scaling curve of (spec, globalBatch) on a cluster
+// whose servers hold perServer GPUs, for power-of-two worker counts from
+// spec.MinWorkers (memory feasibility) through maxWorkers, each under the
+// best placement of that size. It stops early once throughput declines, as
+// the paper's profiler does (§6.6).
+func BuildCurve(e Estimator, spec model.Spec, globalBatch, perServer, maxWorkers int) (Curve, error) {
+	return BuildCurveFunc(e, spec, globalBatch, maxWorkers, func(g int) Placement {
+		return BestPlacement(g, perServer)
+	})
+}
+
+// BuildCurveFunc is BuildCurve with an arbitrary placement rule per worker
+// count — used to build the pessimistic (fully spread) curves of §4.3's
+// naive strawman, among others.
+func BuildCurveFunc(e Estimator, spec model.Spec, globalBatch, maxWorkers int, place func(g int) Placement) (Curve, error) {
+	pts := make(map[int]float64)
+	prev := 0.0
+	for g := spec.MinWorkers(globalBatch); g <= maxWorkers && g <= globalBatch; g *= 2 {
+		t, err := e.Throughput(spec, globalBatch, place(g))
+		if err != nil {
+			return Curve{}, err
+		}
+		if t < prev {
+			break // adding GPUs slows the job down; stop profiling
+		}
+		pts[g] = t
+		prev = t
+	}
+	return NewCurve(pts)
+}

@@ -1,0 +1,184 @@
+// Package throughput models DL training throughput as a function of worker
+// count and placement. It stands in for the paper's profiling of real A100
+// servers (§5 "Throughput profiling"): an analytic performance model of
+// synchronous data-parallel training produces the same qualitative behaviour
+// the paper measures — concave scaling curves (Fig. 2(a)) and strong
+// placement sensitivity (Fig. 2(b)) — from first principles (compute time
+// per sample, ring all-reduce volume over the bandwidth of the slowest link
+// crossed).
+package throughput
+
+import (
+	"fmt"
+
+	"github.com/elasticflow/elasticflow/internal/model"
+)
+
+// Placement describes where a job's workers sit: how many GPUs it uses on
+// each server, and whether the servers span racks. The buddy allocator in
+// package topology always produces single-block placements whose Shape is
+// directly convertible to this form.
+type Placement struct {
+	// PerServer holds the worker count on each participating server.
+	PerServer []int
+	// CrossRack is true when the servers span racks, lowering the
+	// inter-node bandwidth to the ToR uplink tier.
+	CrossRack bool
+}
+
+// Workers returns the total number of workers in the placement.
+func (p Placement) Workers() int {
+	n := 0
+	for _, g := range p.PerServer {
+		n += g
+	}
+	return n
+}
+
+// String implements fmt.Stringer, e.g. "2x4" for 4 GPUs on each of 2 servers.
+func (p Placement) String() string {
+	if len(p.PerServer) == 0 {
+		return "empty"
+	}
+	uniform := true
+	for _, g := range p.PerServer {
+		if g != p.PerServer[0] {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return fmt.Sprintf("%dx%d", len(p.PerServer), p.PerServer[0])
+	}
+	return fmt.Sprintf("%v", p.PerServer)
+}
+
+// BestPlacement returns the highest-bandwidth placement of g workers on a
+// cluster of servers with perServer GPUs each: a single server when g fits,
+// otherwise the smallest number of fully packed servers. This is exactly the
+// shape a buddy-aligned block of size g has (§4.3), which is what lets
+// admission control consult a single curve per worker count.
+func BestPlacement(g, perServer int) Placement {
+	if g <= perServer {
+		return Placement{PerServer: []int{g}}
+	}
+	servers := (g + perServer - 1) / perServer
+	shape := make([]int, servers)
+	for i := range shape {
+		shape[i] = perServer
+	}
+	shape[servers-1] = g - (servers-1)*perServer
+	return Placement{PerServer: shape}
+}
+
+// SpreadPlacement returns the most pessimistic placement: one worker per
+// server. Used by the "pessimistic curve" ablation (§4.3's naive approach).
+func SpreadPlacement(g int) Placement {
+	shape := make([]int, g)
+	for i := range shape {
+		shape[i] = 1
+	}
+	return Placement{PerServer: shape}
+}
+
+// Estimator computes iteration times from the analytic model.
+type Estimator struct {
+	HW model.Hardware
+}
+
+// NewEstimator returns an estimator over the given hardware.
+func NewEstimator(hw model.Hardware) Estimator { return Estimator{HW: hw} }
+
+// IterTime returns the wall time of one training iteration (one global
+// batch) for the model under the placement, in seconds.
+//
+// The model is the standard decomposition of synchronous data parallelism:
+//
+//	iter = compute(localBatch) + allreduce(gradients, placement) + fixed
+//
+// compute accounts for reduced arithmetic efficiency at small local batches
+// (one source of sub-linear scaling); allreduce charges the ring volume
+// 2(n−1)/n·bytes at each hierarchy tier crossed (the other source).
+func (e Estimator) IterTime(spec model.Spec, globalBatch int, p Placement) (float64, error) {
+	g := p.Workers()
+	if g <= 0 {
+		return 0, fmt.Errorf("throughput: placement has no workers")
+	}
+	if globalBatch <= 0 {
+		return 0, fmt.Errorf("throughput: global batch %d must be positive", globalBatch)
+	}
+	localBatch := float64(globalBatch) / float64(g)
+	if localBatch < 1 {
+		return 0, fmt.Errorf("throughput: %d workers exceed global batch %d", g, globalBatch)
+	}
+
+	// Compute: per-sample time divided by arithmetic efficiency, which
+	// saturates with local batch size. Gradient accumulation makes any
+	// local batch feasible timewise; memory feasibility is enforced by
+	// the scheduler via Spec.MinWorkers.
+	eff := e.HW.PeakTFLOPS * localBatch / (localBatch + spec.HalfEffBatch)
+	compute := localBatch * spec.GFLOPsPerSample / (eff * 1000)
+
+	comm := e.commTime(spec, p)
+	return compute + comm + e.HW.IterOverheadSec, nil
+}
+
+// commTime returns the gradient synchronization time for one iteration: a
+// hierarchical all-reduce with an intra-server ring at NVLink bandwidth and
+// an inter-server ring bottlenecked by the least-provisioned node's NICs.
+func (e Estimator) commTime(spec model.Spec, p Placement) float64 {
+	bytes := float64(spec.GradientBytes())
+	gb := bytes / 1e9
+	var t float64
+
+	// Intra-server stage: ring over the largest co-located group.
+	maxLocal := 0
+	minLocal := 1 << 30
+	for _, n := range p.PerServer {
+		if n > maxLocal {
+			maxLocal = n
+		}
+		if n < minLocal {
+			minLocal = n
+		}
+	}
+	if maxLocal > 1 {
+		ringFrac := 2 * float64(maxLocal-1) / float64(maxLocal)
+		t += ringFrac * gb / e.HW.NVLinkGBps
+		t += 2 * float64(maxLocal-1) * e.HW.LinkLatencySec
+	}
+
+	// Inter-server stage: ring over the participating servers. Each node
+	// drives the wire with one NIC per local GPU, so the node with the
+	// fewest local GPUs bottlenecks the ring.
+	if k := len(p.PerServer); k > 1 {
+		nodeBW := float64(minLocal) * e.HW.NICGBps
+		if p.CrossRack {
+			nodeBW = float64(minLocal) * e.HW.CrossRackGBps
+		}
+		ringFrac := 2 * float64(k-1) / float64(k)
+		t += ringFrac * gb / nodeBW
+		t += 2 * float64(k-1) * e.HW.LinkLatencySec
+	}
+	return t
+}
+
+// Throughput returns iterations per second for the model under the
+// placement. The paper measures throughput in iterations per time unit
+// (§4.1), so for a fixed global batch this is 1/IterTime.
+func (e Estimator) Throughput(spec model.Spec, globalBatch int, p Placement) (float64, error) {
+	it, err := e.IterTime(spec, globalBatch, p)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / it, nil
+}
+
+// RescaleOverhead returns the wall time charged for changing a job's worker
+// set (§6.6, Fig. 12(b)): a fixed stop/restart cost plus checkpoint and
+// restore of the model state, which dominates and is largely independent of
+// the transition's worker counts.
+func (e Estimator) RescaleOverhead(spec model.Spec) float64 {
+	stateGB := float64(spec.GradientBytes()) / 1e9
+	return e.HW.RescaleFixedSec + 2*stateGB/e.HW.CheckpointGBps
+}

@@ -1,0 +1,153 @@
+package throughput
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/elasticflow/elasticflow/internal/model"
+)
+
+// Profiler reproduces §5's throughput profiling: before a new (model, batch)
+// combination is scheduled, ElasticFlow pre-runs it with each candidate
+// worker count to measure its scaling curve, stopping once more GPUs no
+// longer help. The profiler accounts the wall time those pre-runs would
+// consume (Fig. 12(a)) and caches curves so known/repeated jobs incur no
+// further cost.
+type Profiler struct {
+	est       Estimator
+	perServer int
+	maxG      int
+	// WarmupIters and MeasureIters control how many iterations each
+	// pre-run executes; their product with the iteration time is the
+	// profiling overhead.
+	WarmupIters  int
+	MeasureIters int
+
+	mu    sync.Mutex
+	cache map[profileKey]Profile
+}
+
+type profileKey struct {
+	model string
+	batch int
+}
+
+// Profile is the result of profiling one (model, batch) combination.
+type Profile struct {
+	Model       string
+	GlobalBatch int
+	Curve       Curve
+	// OverheadSec is the wall time spent pre-running (Fig. 12(a)).
+	OverheadSec float64
+	// MinGPUs and MaxGPUs bound the worker counts the job may use (§6.6:
+	// "records the largest and smallest number of GPUs for each job to
+	// avoid poor performance or memory overflow").
+	MinGPUs int
+	MaxGPUs int
+}
+
+// NewProfiler creates a profiler for clusters with perServer GPUs per server
+// and at most maxWorkers workers per job.
+func NewProfiler(est Estimator, perServer, maxWorkers int) *Profiler {
+	return &Profiler{
+		est:          est,
+		perServer:    perServer,
+		maxG:         maxWorkers,
+		WarmupIters:  20,
+		MeasureIters: 30,
+		cache:        make(map[profileKey]Profile),
+	}
+}
+
+// Profile returns the scaling profile for (spec, globalBatch), measuring it
+// on first use and serving it from cache afterwards. The boolean reports
+// whether a (costly) measurement ran.
+func (p *Profiler) Profile(spec model.Spec, globalBatch int) (Profile, bool, error) {
+	key := profileKey{spec.Name, globalBatch}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prof, ok := p.cache[key]; ok {
+		return prof, false, nil
+	}
+	prof, err := p.measure(spec, globalBatch)
+	if err != nil {
+		return Profile{}, false, err
+	}
+	p.cache[key] = prof
+	return prof, true, nil
+}
+
+// measure walks worker counts from the memory-feasible minimum upwards,
+// charging (warmup+measure)·iterTime per point and stopping when throughput
+// stops improving.
+func (p *Profiler) measure(spec model.Spec, globalBatch int) (Profile, error) {
+	pts := make(map[int]float64)
+	overhead := 0.0
+	iters := float64(p.WarmupIters + p.MeasureIters)
+	prev := 0.0
+	minG := spec.MinWorkers(globalBatch)
+	maxG := minG
+	for g := minG; g <= p.maxG && g <= globalBatch; g *= 2 {
+		it, err := p.est.IterTime(spec, globalBatch, BestPlacement(g, p.perServer))
+		if err != nil {
+			return Profile{}, err
+		}
+		overhead += iters * it
+		t := 1 / it
+		if t < prev {
+			// Adding more GPUs with this batch size cannot increase
+			// throughput; stop the procedure for this batch and do not
+			// record the slower point (§6.6).
+			break
+		}
+		pts[g] = t
+		maxG = g
+		prev = t
+	}
+	curve, err := NewCurve(pts)
+	if err != nil {
+		return Profile{}, fmt.Errorf("throughput: profiling %s/%d: %w", spec.Name, globalBatch, err)
+	}
+	return Profile{
+		Model:       spec.Name,
+		GlobalBatch: globalBatch,
+		Curve:       curve,
+		OverheadSec: overhead,
+		MinGPUs:     minG,
+		MaxGPUs:     maxG,
+	}, nil
+}
+
+// CachedProfiles returns all measured profiles, ordered by model then batch.
+func (p *Profiler) CachedProfiles() []Profile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Profile, 0, len(p.cache))
+	for _, prof := range p.cache {
+		out = append(out, prof)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Model != out[j].Model {
+			return out[i].Model < out[j].Model
+		}
+		return out[i].GlobalBatch < out[j].GlobalBatch
+	})
+	return out
+}
+
+// ProfileCatalog profiles every (model, batch) pair in the Table 1 catalog
+// and returns the profiles; used by benches and the Fig. 12(a) experiment.
+func ProfileCatalog(p *Profiler) ([]Profile, error) {
+	var out []Profile
+	for _, spec := range model.Catalog() {
+		for _, b := range spec.BatchSizes {
+			prof, _, err := p.Profile(spec, b)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, prof)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,382 @@
+package throughput
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/elasticflow/elasticflow/internal/model"
+)
+
+func defaultEstimator() Estimator { return NewEstimator(model.DefaultA100()) }
+
+func TestBestPlacement(t *testing.T) {
+	for _, tc := range []struct {
+		g, per int
+		want   string
+	}{
+		{1, 8, "1x1"},
+		{4, 8, "1x4"},
+		{8, 8, "1x8"},
+		{16, 8, "2x8"},
+		{64, 8, "8x8"},
+	} {
+		p := BestPlacement(tc.g, tc.per)
+		if p.String() != tc.want {
+			t.Errorf("BestPlacement(%d,%d)=%v want %v", tc.g, tc.per, p, tc.want)
+		}
+		if p.Workers() != tc.g {
+			t.Errorf("BestPlacement(%d,%d).Workers()=%d", tc.g, tc.per, p.Workers())
+		}
+	}
+}
+
+func TestIterTimeErrors(t *testing.T) {
+	e := defaultEstimator()
+	spec := model.MustByName("resnet50")
+	if _, err := e.IterTime(spec, 0, BestPlacement(1, 8)); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if _, err := e.IterTime(spec, 256, Placement{}); err == nil {
+		t.Error("empty placement accepted")
+	}
+	if _, err := e.IterTime(spec, 4, BestPlacement(8, 8)); err == nil {
+		t.Error("more workers than samples accepted")
+	}
+}
+
+// TestVGG16ScalingMatchesPaper checks the Fig. 2(a) anchor: VGG16 with a
+// global batch of 256 on 8 same-server GPUs reaches roughly 76% of linear
+// scaling (the paper measures 76.07%).
+func TestVGG16ScalingMatchesPaper(t *testing.T) {
+	e := defaultEstimator()
+	spec := model.MustByName("vgg16")
+	t1, err := e.Throughput(spec, 256, BestPlacement(1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := e.Throughput(spec, 256, BestPlacement(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := t8 / (8 * t1)
+	if eff < 0.66 || eff > 0.86 {
+		t.Errorf("VGG16 8-GPU scaling efficiency = %.3f, want ≈0.76 (paper)", eff)
+	}
+}
+
+// TestResNet50PlacementRatioMatchesPaper checks the Fig. 2(b) anchor: eight
+// ResNet50 workers on one server are ≈2.17× faster than spread across eight
+// servers.
+func TestResNet50PlacementRatioMatchesPaper(t *testing.T) {
+	e := defaultEstimator()
+	spec := model.MustByName("resnet50")
+	same, err := e.Throughput(spec, 256, Placement{PerServer: []int{8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := e.Throughput(spec, 256, SpreadPlacement(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := same / spread
+	if ratio < 1.7 || ratio > 2.7 {
+		t.Errorf("ResNet50 same-server/spread ratio = %.2f, want ≈2.17 (paper)", ratio)
+	}
+}
+
+// TestPlacementOrdering: for a fixed worker count, fewer servers (more
+// co-location) is never slower — the monotonicity behind Best-Fit placement.
+func TestPlacementOrdering(t *testing.T) {
+	e := defaultEstimator()
+	for _, name := range []string{"resnet50", "bert"} {
+		spec := model.MustByName(name)
+		shapes := []Placement{
+			{PerServer: []int{8}},
+			{PerServer: []int{4, 4}},
+			{PerServer: []int{2, 2, 2, 2}},
+			SpreadPlacement(8),
+		}
+		prev := math.Inf(1)
+		for _, p := range shapes {
+			tput, err := e.Throughput(spec, 256, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tput > prev+1e-9 {
+				t.Errorf("%s: placement %v faster than more co-located one (%.2f > %.2f)", name, p, tput, prev)
+			}
+			prev = tput
+		}
+	}
+}
+
+// TestCrossRackSlower: spanning racks must not be faster than staying in one.
+func TestCrossRackSlower(t *testing.T) {
+	e := defaultEstimator()
+	spec := model.MustByName("bert")
+	in := Placement{PerServer: []int{8, 8}}
+	out := Placement{PerServer: []int{8, 8}, CrossRack: true}
+	ti, err := e.Throughput(spec, 128, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to, err := e.Throughput(spec, 128, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to > ti {
+		t.Errorf("cross-rack throughput %.3f exceeds in-rack %.3f", to, ti)
+	}
+}
+
+// TestAllCatalogCurvesConcaveMonotone: every Table 1 (model, batch) pair must
+// produce a concave, monotone scaling curve under best placement, since the
+// optimality of Alg. 2 relies on concavity (§4.1).
+func TestAllCatalogCurvesConcaveMonotone(t *testing.T) {
+	e := defaultEstimator()
+	for _, spec := range model.Catalog() {
+		for _, b := range spec.BatchSizes {
+			c, err := BuildCurve(e, spec, b, 8, 128)
+			if err != nil {
+				t.Fatalf("BuildCurve(%s,%d): %v", spec.Name, b, err)
+			}
+			if !c.Monotone() {
+				t.Errorf("%s/%d: curve not monotone: %v", spec.Name, b, c.Points())
+			}
+			if !c.Concave() {
+				t.Errorf("%s/%d: curve not concave: %v", spec.Name, b, c.Points())
+			}
+			if c.MinWorkers() != spec.MinWorkers(b) {
+				t.Errorf("%s/%d: curve starts at %d want %d", spec.Name, b, c.MinWorkers(), spec.MinWorkers(b))
+			}
+			for _, g := range c.Workers() {
+				if se := c.ScalingEfficiency(g); se > 1+1e-9 {
+					t.Errorf("%s/%d: super-linear scaling %f at %d workers", spec.Name, b, se, g)
+				}
+			}
+		}
+	}
+}
+
+func TestCurveValidation(t *testing.T) {
+	if _, err := NewCurve(nil); err == nil {
+		t.Error("empty curve accepted")
+	}
+	if _, err := NewCurve(map[int]float64{0: 1}); err == nil {
+		t.Error("zero worker count accepted")
+	}
+	if c, err := NewCurve(map[int]float64{3: 1}); err != nil || c.At(3) != 1 {
+		t.Errorf("non-power-of-two point rejected: %v %v", c, err)
+	}
+	if _, err := NewCurve(map[int]float64{2: -1}); err == nil {
+		t.Error("negative throughput accepted")
+	}
+}
+
+func TestCurveAtRoundsDown(t *testing.T) {
+	c := MustCurve(map[int]float64{1: 1, 2: 1.5, 4: 2})
+	for _, tc := range []struct {
+		g    int
+		want float64
+	}{
+		{0, 0}, {1, 1}, {2, 1.5}, {3, 1.5}, {4, 2}, {5, 2}, {100, 2},
+	} {
+		if got := c.At(tc.g); got != tc.want {
+			t.Errorf("At(%d)=%v want %v", tc.g, got, tc.want)
+		}
+	}
+	// Curves starting above 1 worker return 0 below their minimum.
+	c2 := MustCurve(map[int]float64{4: 2, 8: 3})
+	if got := c2.At(2); got != 0 {
+		t.Errorf("At below min = %v want 0", got)
+	}
+}
+
+func TestCurvePeakAndMaxUseful(t *testing.T) {
+	c := MustCurve(map[int]float64{1: 1, 2: 1.8, 4: 2.0, 8: 2.0})
+	g, tput := c.Peak()
+	if tput != 2.0 {
+		t.Errorf("Peak tput=%v want 2.0", tput)
+	}
+	if g != 4 {
+		t.Errorf("Peak workers=%d want 4 (first maximal)", g)
+	}
+	if got := c.MaxUsefulWorkers(0); got != 4 {
+		t.Errorf("MaxUsefulWorkers(0)=%d want 4", got)
+	}
+	if got := c.MaxUsefulWorkers(0.15); got != 2 {
+		t.Errorf("MaxUsefulWorkers(0.15)=%d want 2", got)
+	}
+}
+
+func TestCurveTruncate(t *testing.T) {
+	c := MustCurve(map[int]float64{1: 1, 2: 1.5, 4: 2, 8: 2.2})
+	tr := c.Truncate(2, 4)
+	if tr.MinWorkers() != 2 || tr.MaxWorkers() != 4 {
+		t.Errorf("Truncate bounds = [%d,%d] want [2,4]", tr.MinWorkers(), tr.MaxWorkers())
+	}
+}
+
+func TestProfilerCachesAndCharges(t *testing.T) {
+	p := NewProfiler(defaultEstimator(), 8, 128)
+	spec := model.MustByName("bert")
+	prof, measured, err := p.Profile(spec, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !measured {
+		t.Error("first profile reported as cached")
+	}
+	if prof.OverheadSec <= 0 {
+		t.Error("profiling charged no overhead")
+	}
+	if prof.MinGPUs != spec.MinWorkers(128) {
+		t.Errorf("MinGPUs=%d want %d", prof.MinGPUs, spec.MinWorkers(128))
+	}
+	prof2, measured2, err := p.Profile(spec, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured2 {
+		t.Error("repeated profile re-measured (should be cached, §6.6)")
+	}
+	if prof2.OverheadSec != prof.OverheadSec {
+		t.Error("cached profile differs from measured one")
+	}
+}
+
+func TestProfileCatalogCoversTable1(t *testing.T) {
+	p := NewProfiler(defaultEstimator(), 8, 128)
+	profs, err := ProfileCatalog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := 0
+	for _, s := range model.Catalog() {
+		wantPairs += len(s.BatchSizes)
+	}
+	if len(profs) != wantPairs {
+		t.Errorf("profiled %d pairs want %d", len(profs), wantPairs)
+	}
+	for _, pr := range profs {
+		if pr.Curve.MinWorkers() == 0 {
+			t.Errorf("%s/%d: empty curve", pr.Model, pr.GlobalBatch)
+		}
+	}
+}
+
+// TestIterTimeMonotoneInBatchProperty: for any model and worker count, a
+// larger global batch never takes less time per iteration.
+func TestIterTimeMonotoneInBatchProperty(t *testing.T) {
+	e := defaultEstimator()
+	specs := model.Catalog()
+	f := func(specIdx uint8, gExp uint8, b1, b2 uint16) bool {
+		spec := specs[int(specIdx)%len(specs)]
+		g := 1 << (int(gExp) % 5)
+		lo, hi := int(b1)%512+uint16ToMin(b2), 0
+		_ = hi
+		batchA := int(b1)%512 + g // ensure ≥ g
+		batchB := batchA + int(b2)%512
+		p := BestPlacement(g, 8)
+		ta, err := e.IterTime(spec, batchA, p)
+		if err != nil {
+			return true // infeasible combos are out of scope
+		}
+		tb, err := e.IterTime(spec, batchB, p)
+		if err != nil {
+			return true
+		}
+		_ = lo
+		return tb >= ta-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func uint16ToMin(v uint16) int { return 0 }
+
+func TestRescaleOverheadScalesWithModelSize(t *testing.T) {
+	e := defaultEstimator()
+	small := e.RescaleOverhead(model.MustByName("resnet50"))
+	large := e.RescaleOverhead(model.MustByName("vgg16"))
+	if large <= small {
+		t.Errorf("VGG16 rescale overhead %.2f ≤ ResNet50's %.2f; expected larger state to cost more", large, small)
+	}
+	if small < model.DefaultA100().RescaleFixedSec {
+		t.Errorf("overhead %.2f below fixed floor", small)
+	}
+}
+
+func TestCurveAccessors(t *testing.T) {
+	var empty Curve
+	if empty.MinWorkers() != 0 || empty.MaxWorkers() != 0 || empty.At(4) != 0 {
+		t.Error("empty curve accessors not zero")
+	}
+	if empty.Normalized() == nil || len(empty.Normalized()) != 0 {
+		t.Error("empty Normalized not empty map")
+	}
+	c := MustCurve(map[int]float64{2: 1, 4: 1.6, 8: 2})
+	if c.MinWorkers() != 2 || c.MaxWorkers() != 8 {
+		t.Errorf("bounds [%d,%d]", c.MinWorkers(), c.MaxWorkers())
+	}
+	pts := c.Points()
+	pts[2] = 99
+	if c.At(2) == 99 {
+		t.Error("Points exposes internal map")
+	}
+	n := c.Normalized()
+	if n[2] != 1 || n[8] != 2 {
+		t.Errorf("Normalized=%v", n)
+	}
+	// Non-monotone curve detected.
+	if MustCurve(map[int]float64{1: 2, 2: 1}).Monotone() {
+		t.Error("decreasing curve reported monotone")
+	}
+}
+
+func TestMustCurvePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCurve did not panic")
+		}
+	}()
+	MustCurve(nil)
+}
+
+func TestPlacementStringVariants(t *testing.T) {
+	if s := (Placement{}).String(); s != "empty" {
+		t.Errorf("empty placement = %q", s)
+	}
+	if s := (Placement{PerServer: []int{8, 4}}).String(); s == "" || s == "empty" {
+		t.Errorf("non-uniform placement = %q", s)
+	}
+}
+
+func TestThroughputErrorPath(t *testing.T) {
+	e := defaultEstimator()
+	if _, err := e.Throughput(model.MustByName("bert"), 0, BestPlacement(1, 8)); err == nil {
+		t.Error("invalid batch accepted")
+	}
+}
+
+func TestCachedProfiles(t *testing.T) {
+	p := NewProfiler(defaultEstimator(), 8, 64)
+	if got := p.CachedProfiles(); len(got) != 0 {
+		t.Errorf("fresh profiler has %d cached profiles", len(got))
+	}
+	if _, _, err := p.Profile(model.MustByName("vgg16"), 128); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Profile(model.MustByName("bert"), 64); err != nil {
+		t.Fatal(err)
+	}
+	got := p.CachedProfiles()
+	if len(got) != 2 {
+		t.Fatalf("cached %d profiles want 2", len(got))
+	}
+	if got[0].Model > got[1].Model {
+		t.Error("CachedProfiles not sorted")
+	}
+}

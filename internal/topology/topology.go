@@ -1,0 +1,571 @@
+// Package topology models the GPU cluster fabric of §4.3: a multi-layer
+// hierarchical tree of GPUs connected by links of decreasing bandwidth
+// (NVLink within a socket, PCIe/QPI across sockets, InfiniBand across
+// servers, ToR uplinks across racks), plus the buddy allocator that
+// ElasticFlow uses to place power-of-two jobs without fragmentation.
+//
+// GPUs are identified by a global index. Buddy blocks are aligned to their
+// size, so a block of size ≤ GPUsPerServer never straddles a server
+// boundary: buddy allocation automatically yields the highest-bandwidth
+// placement for its size, which is what lets the scheduler decouple
+// placement from admission control and resource allocation (§4.3).
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Level identifies a tier of the topology tree, ordered by decreasing
+// bandwidth. A placement's level is the highest tier its workers must cross.
+type Level int
+
+// Topology tiers, from a single GPU up to the cross-rack fabric (Fig. 5).
+const (
+	LevelGPU     Level = iota // single GPU, no communication
+	LevelSocket               // GPUs under one CPU socket (NVLink)
+	LevelServer               // GPUs across sockets in one server (PCIe/QPI)
+	LevelRack                 // servers in one rack (InfiniBand)
+	LevelCluster              // racks (ToR uplinks)
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelGPU:
+		return "gpu"
+	case LevelSocket:
+		return "socket"
+	case LevelServer:
+		return "server"
+	case LevelRack:
+		return "rack"
+	case LevelCluster:
+		return "cluster"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// AllocPolicy selects which free block a request splits when several could
+// satisfy it. The paper uses Best-Fit (§4.3, citing Shore '75); the
+// alternatives exist for the placement ablation.
+type AllocPolicy int
+
+// Placement policies.
+const (
+	// BestFit splits the smallest sufficient free block (lowest address
+	// within a size class) — the paper's choice: the job lands in the
+	// subtree whose idle GPU count is closest to its need.
+	BestFit AllocPolicy = iota
+	// FirstFit splits the lowest-addressed sufficient free block
+	// regardless of size.
+	FirstFit
+	// WorstFit splits the largest free block.
+	WorstFit
+)
+
+// String implements fmt.Stringer.
+func (p AllocPolicy) String() string {
+	switch p {
+	case BestFit:
+		return "best-fit"
+	case FirstFit:
+		return "first-fit"
+	case WorstFit:
+		return "worst-fit"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config describes the physical layout of a cluster.
+type Config struct {
+	// Servers is the number of servers. Must be a power of two.
+	Servers int
+	// GPUsPerServer is the number of GPUs per server. Must be a power of
+	// two. The paper's testbed uses 8.
+	GPUsPerServer int
+	// GPUsPerSocket is the number of GPUs attached to one CPU socket.
+	// Defaults to GPUsPerServer/2 (the two-socket server of Fig. 5).
+	GPUsPerSocket int
+	// ServersPerRack groups servers into racks. Defaults to Servers
+	// (a single rack). Must be a power of two.
+	ServersPerRack int
+	// Policy selects the free-block heuristic (default BestFit, §4.3).
+	Policy AllocPolicy
+}
+
+func (c *Config) applyDefaults() {
+	if c.GPUsPerSocket == 0 {
+		c.GPUsPerSocket = c.GPUsPerServer / 2
+		if c.GPUsPerSocket == 0 {
+			c.GPUsPerSocket = 1
+		}
+	}
+	if c.ServersPerRack == 0 {
+		c.ServersPerRack = c.Servers
+	}
+}
+
+func (c Config) validate() error {
+	if c.Servers <= 0 || c.GPUsPerServer <= 0 {
+		return fmt.Errorf("topology: config must have positive servers and GPUs per server, got %d×%d", c.Servers, c.GPUsPerServer)
+	}
+	for _, v := range []struct {
+		name string
+		n    int
+	}{
+		{"Servers", c.Servers},
+		{"GPUsPerServer", c.GPUsPerServer},
+		{"GPUsPerSocket", c.GPUsPerSocket},
+		{"ServersPerRack", c.ServersPerRack},
+	} {
+		if !IsPowerOfTwo(v.n) {
+			return fmt.Errorf("topology: %s must be a power of two, got %d", v.name, v.n)
+		}
+	}
+	if c.GPUsPerSocket > c.GPUsPerServer {
+		return fmt.Errorf("topology: GPUsPerSocket %d exceeds GPUsPerServer %d", c.GPUsPerSocket, c.GPUsPerServer)
+	}
+	if c.ServersPerRack > c.Servers {
+		return fmt.Errorf("topology: ServersPerRack %d exceeds Servers %d", c.ServersPerRack, c.Servers)
+	}
+	return nil
+}
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPowerOfTwo returns the smallest power of two ≥ n (n ≥ 1).
+func NextPowerOfTwo(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// PrevPowerOfTwo returns the largest power of two ≤ n (n ≥ 1).
+func PrevPowerOfTwo(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+// Block is a buddy-aligned range of GPUs: Start is a multiple of Size and
+// Size is a power of two.
+type Block struct {
+	Start int
+	Size  int
+}
+
+// End returns the exclusive upper GPU index of the block.
+func (b Block) End() int { return b.Start + b.Size }
+
+// Contains reports whether gpu lies inside the block.
+func (b Block) Contains(gpu int) bool { return gpu >= b.Start && gpu < b.End() }
+
+// Overlaps reports whether two blocks share any GPU.
+func (b Block) Overlaps(o Block) bool { return b.Start < o.End() && o.Start < b.End() }
+
+// String implements fmt.Stringer.
+func (b Block) String() string { return fmt.Sprintf("[%d,%d)", b.Start, b.End()) }
+
+// Cluster tracks allocation state over the topology. It is not safe for
+// concurrent use; callers (the scheduler, the simulator) serialize access.
+type Cluster struct {
+	cfg Config
+	// free maps block size → sorted starts of free blocks of that size.
+	free map[int][]int
+	// owned maps job ID → its block.
+	owned map[string]Block
+}
+
+// New creates a cluster with all GPUs free.
+func New(cfg Config) (*Cluster, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		free:  make(map[int][]int),
+		owned: make(map[string]Block),
+	}
+	total := cfg.Servers * cfg.GPUsPerServer
+	c.free[total] = []int{0}
+	return c, nil
+}
+
+// Config returns the cluster layout.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// TotalGPUs returns the cluster capacity.
+func (c *Cluster) TotalGPUs() int { return c.cfg.Servers * c.cfg.GPUsPerServer }
+
+// FreeGPUs returns the number of unallocated GPUs.
+func (c *Cluster) FreeGPUs() int {
+	n := c.TotalGPUs()
+	for _, b := range c.owned {
+		n -= b.Size
+	}
+	return n
+}
+
+// Placement returns the block owned by jobID, if any.
+func (c *Cluster) Placement(jobID string) (Block, bool) {
+	b, ok := c.owned[jobID]
+	return b, ok
+}
+
+// Placements returns a copy of the job → block map.
+func (c *Cluster) Placements() map[string]Block {
+	out := make(map[string]Block, len(c.owned))
+	for id, b := range c.owned {
+		out[id] = b
+	}
+	return out
+}
+
+// Level returns the topology tier a block of the given size and alignment
+// occupies: the smallest tier that fully contains it.
+func (c *Cluster) Level(b Block) Level {
+	switch {
+	case b.Size <= 1:
+		return LevelGPU
+	case b.Size <= c.cfg.GPUsPerSocket:
+		return LevelSocket
+	case b.Size <= c.cfg.GPUsPerServer:
+		return LevelServer
+	case b.Size <= c.cfg.GPUsPerServer*c.cfg.ServersPerRack:
+		return LevelRack
+	default:
+		return LevelCluster
+	}
+}
+
+// Shape returns the number of GPUs the block occupies on each server it
+// touches, e.g. a 16-GPU block on 8-GPU servers has shape [8 8].
+func (c *Cluster) Shape(b Block) []int {
+	per := c.cfg.GPUsPerServer
+	firstServer := b.Start / per
+	lastServer := (b.End() - 1) / per
+	shape := make([]int, 0, lastServer-firstServer+1)
+	for s := firstServer; s <= lastServer; s++ {
+		lo := max(b.Start, s*per)
+		hi := min(b.End(), (s+1)*per)
+		shape = append(shape, hi-lo)
+	}
+	return shape
+}
+
+// Allocate reserves a buddy block of n GPUs (n must be a power of two) for
+// jobID. It fails if the job already holds a block or if no free block of
+// size n exists, even when enough scattered GPUs are free; use
+// AllocateWithMigration to defragment in that case.
+func (c *Cluster) Allocate(jobID string, n int) (Block, error) {
+	if !IsPowerOfTwo(n) {
+		return Block{}, fmt.Errorf("topology: allocation size %d is not a power of two", n)
+	}
+	if n > c.TotalGPUs() {
+		return Block{}, fmt.Errorf("topology: allocation size %d exceeds cluster capacity %d", n, c.TotalGPUs())
+	}
+	if _, ok := c.owned[jobID]; ok {
+		return Block{}, fmt.Errorf("topology: job %q already holds an allocation", jobID)
+	}
+	b, ok := c.takeBlock(n)
+	if !ok {
+		return Block{}, fmt.Errorf("topology: no contiguous buddy block of %d GPUs (free=%d): fragmentation", n, c.FreeGPUs())
+	}
+	c.owned[jobID] = b
+	return b, nil
+}
+
+// takeBlock removes and returns a free block of exactly size n, splitting a
+// larger block chosen by the configured policy. Within a size class the
+// lowest-addressed block is used, keeping allocation deterministic.
+func (c *Cluster) takeBlock(n int) (Block, bool) {
+	b, ok := c.pickBlock(n)
+	if !ok {
+		return Block{}, false
+	}
+	starts := c.free[b.Size]
+	i := sort.SearchInts(starts, b.Start)
+	c.free[b.Size] = append(starts[:i], starts[i+1:]...)
+	// Split down to the requested size, freeing the upper buddy halves.
+	size := b.Size
+	for size > n {
+		size /= 2
+		c.insertFree(Block{Start: b.Start + size, Size: size})
+	}
+	return Block{Start: b.Start, Size: n}, true
+}
+
+// pickBlock selects the free block to split for an n-GPU request.
+func (c *Cluster) pickBlock(n int) (Block, bool) {
+	switch c.cfg.Policy {
+	case WorstFit:
+		for size := c.TotalGPUs(); size >= n; size /= 2 {
+			if starts := c.free[size]; len(starts) > 0 {
+				return Block{Start: starts[0], Size: size}, true
+			}
+		}
+	case FirstFit:
+		best := Block{Start: -1}
+		for size := n; size <= c.TotalGPUs(); size *= 2 {
+			if starts := c.free[size]; len(starts) > 0 {
+				if best.Start < 0 || starts[0] < best.Start {
+					best = Block{Start: starts[0], Size: size}
+				}
+			}
+		}
+		if best.Start >= 0 {
+			return best, true
+		}
+	default: // BestFit
+		for size := n; size <= c.TotalGPUs(); size *= 2 {
+			if starts := c.free[size]; len(starts) > 0 {
+				return Block{Start: starts[0], Size: size}, true
+			}
+		}
+	}
+	return Block{}, false
+}
+
+// Release frees the block held by jobID, coalescing buddies.
+func (c *Cluster) Release(jobID string) error {
+	b, ok := c.owned[jobID]
+	if !ok {
+		return fmt.Errorf("topology: job %q holds no allocation", jobID)
+	}
+	delete(c.owned, jobID)
+	c.insertFree(b)
+	return nil
+}
+
+// insertFree adds a block to the free lists, merging it with its buddy
+// repeatedly while possible.
+func (c *Cluster) insertFree(b Block) {
+	for b.Size < c.TotalGPUs() {
+		buddyStart := b.Start ^ b.Size
+		starts := c.free[b.Size]
+		i := sort.SearchInts(starts, buddyStart)
+		if i >= len(starts) || starts[i] != buddyStart {
+			break
+		}
+		c.free[b.Size] = append(starts[:i], starts[i+1:]...)
+		if buddyStart < b.Start {
+			b.Start = buddyStart
+		}
+		b.Size *= 2
+	}
+	starts := c.free[b.Size]
+	i := sort.SearchInts(starts, b.Start)
+	starts = append(starts, 0)
+	copy(starts[i+1:], starts[i:])
+	starts[i] = b.Start
+	c.free[b.Size] = starts
+}
+
+// Migration records a job relocation performed during defragmentation.
+type Migration struct {
+	JobID string
+	From  Block
+	To    Block
+}
+
+// AllocateWithMigration reserves n GPUs for jobID, migrating existing jobs
+// if the free space is fragmented. With power-of-two sizes this always
+// succeeds when FreeGPUs() ≥ n — the defragmentation guarantee of §4.3.
+// The returned migrations list the jobs that moved (possibly empty).
+func (c *Cluster) AllocateWithMigration(jobID string, n int) (Block, []Migration, error) {
+	if b, err := c.Allocate(jobID, n); err == nil {
+		return b, nil, nil
+	}
+	if !IsPowerOfTwo(n) {
+		return Block{}, nil, fmt.Errorf("topology: allocation size %d is not a power of two", n)
+	}
+	if c.FreeGPUs() < n {
+		return Block{}, nil, fmt.Errorf("topology: %d GPUs requested but only %d free", n, c.FreeGPUs())
+	}
+	migs, err := c.compact(n)
+	if err != nil {
+		return Block{}, nil, err
+	}
+	b, err := c.Allocate(jobID, n)
+	if err != nil {
+		// Cannot happen: compaction proved a block of size n free.
+		return Block{}, nil, fmt.Errorf("topology: internal error, compaction did not produce a block of %d GPUs: %v", n, err)
+	}
+	return b, migs, nil
+}
+
+// compact repacks allocations so that a free buddy block of size need
+// exists. Blocks are replaced largest-first into a fresh buddy space,
+// keeping each at its current address when possible so that only the
+// minimum of jobs migrate.
+func (c *Cluster) compact(need int) ([]Migration, error) {
+	type alloc struct {
+		id string
+		b  Block
+	}
+	allocs := make([]alloc, 0, len(c.owned))
+	for id, b := range c.owned {
+		allocs = append(allocs, alloc{id, b})
+	}
+	// Largest first, then by address, so packing is tight and stable.
+	sort.Slice(allocs, func(i, j int) bool {
+		if allocs[i].b.Size != allocs[j].b.Size {
+			return allocs[i].b.Size > allocs[j].b.Size
+		}
+		return allocs[i].b.Start < allocs[j].b.Start
+	})
+
+	fresh, err := New(c.cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Reserve the needed block first at the top of the address space so
+	// existing low-address jobs tend to stay in place.
+	resStart := c.TotalGPUs() - need
+	if err := fresh.placeAt("__reserved__", Block{Start: resStart, Size: need}); err != nil {
+		return nil, err
+	}
+	var migs []Migration
+	for _, a := range allocs {
+		if fresh.canPlaceAt(a.b) {
+			if err := fresh.placeAt(a.id, a.b); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		nb, ok := fresh.takeBlock(a.b.Size)
+		if !ok {
+			return nil, fmt.Errorf("topology: defragmentation failed for job %q needing %d GPUs", a.id, a.b.Size)
+		}
+		fresh.owned[a.id] = nb
+		migs = append(migs, Migration{JobID: a.id, From: a.b, To: nb})
+	}
+	if err := fresh.Release("__reserved__"); err != nil {
+		return nil, err
+	}
+	c.free = fresh.free
+	c.owned = fresh.owned
+	return migs, nil
+}
+
+// canPlaceAt reports whether the exact block b is currently free.
+func (c *Cluster) canPlaceAt(b Block) bool {
+	// b is free iff some free block contains it.
+	for size, starts := range c.free {
+		if size < b.Size {
+			continue
+		}
+		for _, s := range starts {
+			fb := Block{Start: s, Size: size}
+			if b.Start >= fb.Start && b.End() <= fb.End() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// placeAt carves the exact block b out of the free space for jobID.
+func (c *Cluster) placeAt(jobID string, b Block) error {
+	if !c.canPlaceAt(b) {
+		return fmt.Errorf("topology: block %v is not free", b)
+	}
+	// Find the containing free block, remove it, split towards b.
+	for size := b.Size; size <= c.TotalGPUs(); size *= 2 {
+		containerStart := b.Start &^ (size - 1)
+		starts := c.free[size]
+		i := sort.SearchInts(starts, containerStart)
+		if i < len(starts) && starts[i] == containerStart {
+			c.free[size] = append(starts[:i], starts[i+1:]...)
+			// Split down: at each step free the half not containing b.
+			cur := Block{Start: containerStart, Size: size}
+			for cur.Size > b.Size {
+				cur.Size /= 2
+				lower := cur
+				upper := Block{Start: cur.Start + cur.Size, Size: cur.Size}
+				if b.Start >= upper.Start {
+					c.insertFree(lower)
+					cur = upper
+				} else {
+					c.insertFree(upper)
+				}
+			}
+			c.owned[jobID] = b
+			return nil
+		}
+	}
+	return fmt.Errorf("topology: block %v vanished during placement", b)
+}
+
+// ServerBlock returns the block covering all GPUs of one server.
+func (c *Cluster) ServerBlock(server int) (Block, error) {
+	if server < 0 || server >= c.cfg.Servers {
+		return Block{}, fmt.Errorf("topology: server %d out of range [0,%d)", server, c.cfg.Servers)
+	}
+	return Block{Start: server * c.cfg.GPUsPerServer, Size: c.cfg.GPUsPerServer}, nil
+}
+
+// JobsOn returns the IDs of jobs whose placement overlaps b, sorted.
+func (c *Cluster) JobsOn(b Block) []string {
+	var ids []string
+	for id, owned := range c.owned {
+		if owned.Overlaps(b) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Reserve claims the exact block b for id (e.g. to model a failed server,
+// §4.4). The block must be entirely free; evict overlapping jobs first.
+func (c *Cluster) Reserve(id string, b Block) error {
+	if _, ok := c.owned[id]; ok {
+		return fmt.Errorf("topology: %q already holds an allocation", id)
+	}
+	if !IsPowerOfTwo(b.Size) || b.Start%b.Size != 0 {
+		return fmt.Errorf("topology: block %v is not buddy-aligned", b)
+	}
+	return c.placeAt(id, b)
+}
+
+// LargestFreeBlock returns the size of the largest currently free buddy
+// block (0 when the cluster is full).
+func (c *Cluster) LargestFreeBlock() int {
+	best := 0
+	for size, starts := range c.free {
+		if len(starts) > 0 && size > best {
+			best = size
+		}
+	}
+	return best
+}
+
+// FragmentedGPUs returns the number of free GPUs that are not part of the
+// largest free block — a measure of external fragmentation.
+func (c *Cluster) FragmentedGPUs() int {
+	return c.FreeGPUs() - c.LargestFreeBlock()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

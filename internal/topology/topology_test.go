@@ -1,0 +1,573 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestCluster(t *testing.T, servers, perServer int) *Cluster {
+	t.Helper()
+	c, err := New(Config{Servers: servers, GPUsPerServer: perServer})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Servers: 0, GPUsPerServer: 8},
+		{Servers: 3, GPUsPerServer: 8},
+		{Servers: 4, GPUsPerServer: 6},
+		{Servers: 4, GPUsPerServer: 8, GPUsPerSocket: 16},
+		{Servers: 4, GPUsPerServer: 8, ServersPerRack: 8},
+	}
+	for _, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) succeeded, want error", cfg)
+		}
+	}
+}
+
+func TestPowerOfTwoHelpers(t *testing.T) {
+	for _, tc := range []struct {
+		n          int
+		isPow      bool
+		next, prev int
+	}{
+		{1, true, 1, 1},
+		{2, true, 2, 2},
+		{3, false, 4, 2},
+		{5, false, 8, 4},
+		{8, true, 8, 8},
+		{9, false, 16, 8},
+		{127, false, 128, 64},
+		{128, true, 128, 128},
+	} {
+		if got := IsPowerOfTwo(tc.n); got != tc.isPow {
+			t.Errorf("IsPowerOfTwo(%d)=%v want %v", tc.n, got, tc.isPow)
+		}
+		if got := NextPowerOfTwo(tc.n); got != tc.next {
+			t.Errorf("NextPowerOfTwo(%d)=%d want %d", tc.n, got, tc.next)
+		}
+		if got := PrevPowerOfTwo(tc.n); got != tc.prev {
+			t.Errorf("PrevPowerOfTwo(%d)=%d want %d", tc.n, got, tc.prev)
+		}
+	}
+}
+
+func TestAllocateBasic(t *testing.T) {
+	c := newTestCluster(t, 2, 8)
+	b, err := c.Allocate("a", 8)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if b.Size != 8 || b.Start%8 != 0 {
+		t.Errorf("block %v not buddy-aligned to 8", b)
+	}
+	if got := c.FreeGPUs(); got != 8 {
+		t.Errorf("FreeGPUs=%d want 8", got)
+	}
+	if _, err := c.Allocate("a", 2); err == nil {
+		t.Error("double allocation for same job succeeded")
+	}
+	if _, err := c.Allocate("b", 3); err == nil {
+		t.Error("non-power-of-two allocation succeeded")
+	}
+	if _, err := c.Allocate("b", 32); err == nil {
+		t.Error("oversized allocation succeeded")
+	}
+}
+
+func TestAllocateBlocksNeverOverlapAndStayAligned(t *testing.T) {
+	c := newTestCluster(t, 4, 8)
+	sizes := []int{1, 2, 4, 8, 16, 1}
+	var blocks []Block
+	for i, n := range sizes {
+		b, err := c.Allocate(fmt.Sprintf("j%d", i), n)
+		if err != nil {
+			t.Fatalf("Allocate(%d): %v", n, err)
+		}
+		if b.Start%b.Size != 0 {
+			t.Errorf("block %v not aligned", b)
+		}
+		for _, prev := range blocks {
+			if b.Overlaps(prev) {
+				t.Errorf("block %v overlaps %v", b, prev)
+			}
+		}
+		blocks = append(blocks, b)
+	}
+}
+
+func TestReleaseCoalesces(t *testing.T) {
+	c := newTestCluster(t, 2, 8)
+	for i := 0; i < 16; i++ {
+		if _, err := c.Allocate(fmt.Sprintf("j%d", i), 1); err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if err := c.Release(fmt.Sprintf("j%d", i)); err != nil {
+			t.Fatalf("Release: %v", err)
+		}
+	}
+	if got := c.LargestFreeBlock(); got != 16 {
+		t.Errorf("LargestFreeBlock=%d want 16 after full release", got)
+	}
+	if err := c.Release("jX"); err == nil {
+		t.Error("Release of unknown job succeeded")
+	}
+}
+
+func TestBuddyAlignmentGivesSingleServerPlacement(t *testing.T) {
+	// A block of ≤ 8 GPUs on 8-GPU servers must never straddle servers:
+	// that is the decoupling property of §4.3.
+	c := newTestCluster(t, 4, 8)
+	for i := 0; i < 4; i++ {
+		b, err := c.Allocate(fmt.Sprintf("j%d", i), 8)
+		if err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+		if shape := c.Shape(b); len(shape) != 1 || shape[0] != 8 {
+			t.Errorf("8-GPU block %v has shape %v, want [8]", b, shape)
+		}
+		if lvl := c.Level(b); lvl != LevelServer {
+			t.Errorf("8-GPU block level=%v want server", lvl)
+		}
+	}
+}
+
+func TestShape(t *testing.T) {
+	c := newTestCluster(t, 4, 8)
+	for _, tc := range []struct {
+		b    Block
+		want []int
+	}{
+		{Block{0, 1}, []int{1}},
+		{Block{4, 4}, []int{4}},
+		{Block{8, 8}, []int{8}},
+		{Block{0, 16}, []int{8, 8}},
+		{Block{0, 32}, []int{8, 8, 8, 8}},
+	} {
+		got := c.Shape(tc.b)
+		if len(got) != len(tc.want) {
+			t.Errorf("Shape(%v)=%v want %v", tc.b, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Shape(%v)=%v want %v", tc.b, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	c, err := New(Config{Servers: 4, GPUsPerServer: 8, GPUsPerSocket: 4, ServersPerRack: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, tc := range []struct {
+		size int
+		want Level
+	}{
+		{1, LevelGPU},
+		{2, LevelSocket},
+		{4, LevelSocket},
+		{8, LevelServer},
+		{16, LevelRack},
+		{32, LevelCluster},
+	} {
+		if got := c.Level(Block{0, tc.size}); got != tc.want {
+			t.Errorf("Level(size=%d)=%v want %v", tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestFragmentationWithoutMigration(t *testing.T) {
+	// Reproduce the §4.3 example: two 7-GPU-ish jobs leave 2 free GPUs
+	// that are not contiguous. With power-of-two blocks we emulate it by
+	// pinning single GPUs at the right spots.
+	c := newTestCluster(t, 2, 8)
+	// Occupy GPU 0 and GPU 8 (one on each server's low half).
+	if _, err := c.Allocate("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Allocate("b", 8); err != nil { // takes [8,16)
+		t.Fatal(err)
+	}
+	if _, err := c.Allocate("c", 4); err != nil { // [4,8)
+		t.Fatal(err)
+	}
+	if _, err := c.Allocate("d", 2); err != nil { // [2,4)
+		t.Fatal(err)
+	}
+	// Free: only GPU 1. Release b so free = {1} ∪ [8,16) = 9 GPUs but the
+	// largest block is 8.
+	if err := c.Release("b"); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeGPUs() != 9 {
+		t.Fatalf("FreeGPUs=%d want 9", c.FreeGPUs())
+	}
+	if c.FragmentedGPUs() != 1 {
+		t.Errorf("FragmentedGPUs=%d want 1", c.FragmentedGPUs())
+	}
+}
+
+func TestAllocateWithMigrationDefragments(t *testing.T) {
+	c := newTestCluster(t, 2, 8)
+	// Fill all 16 GPUs with single-GPU jobs, then free every other one.
+	for i := 0; i < 16; i++ {
+		if _, err := c.Allocate(fmt.Sprintf("j%d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i += 2 {
+		if err := c.Release(fmt.Sprintf("j%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 8 free GPUs but maximally fragmented: plain Allocate(8) must fail…
+	if _, err := c.Allocate("big", 8); err == nil {
+		t.Fatal("Allocate(8) succeeded on fragmented cluster")
+	}
+	// …while migration-backed allocation succeeds (§4.3 guarantee).
+	b, migs, err := c.AllocateWithMigration("big", 8)
+	if err != nil {
+		t.Fatalf("AllocateWithMigration: %v", err)
+	}
+	if b.Size != 8 {
+		t.Errorf("got block %v want size 8", b)
+	}
+	if len(migs) == 0 {
+		t.Error("expected at least one migration")
+	}
+	// All placements must remain disjoint afterwards.
+	assertDisjoint(t, c)
+}
+
+func TestAllocateWithMigrationNoMoveWhenUnneeded(t *testing.T) {
+	c := newTestCluster(t, 2, 8)
+	if _, err := c.Allocate("a", 4); err != nil {
+		t.Fatal(err)
+	}
+	_, migs, err := c.AllocateWithMigration("b", 8)
+	if err != nil {
+		t.Fatalf("AllocateWithMigration: %v", err)
+	}
+	if len(migs) != 0 {
+		t.Errorf("unnecessary migrations: %v", migs)
+	}
+}
+
+func TestAllocateWithMigrationInsufficient(t *testing.T) {
+	c := newTestCluster(t, 1, 8)
+	if _, err := c.Allocate("a", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.AllocateWithMigration("b", 8); err == nil {
+		t.Error("allocation beyond free capacity succeeded")
+	}
+}
+
+// assertDisjoint checks the global invariant: owned blocks are pairwise
+// disjoint, aligned, and owned+free sizes account for every GPU.
+func assertDisjoint(t *testing.T, c *Cluster) {
+	t.Helper()
+	seen := make([]string, c.TotalGPUs())
+	for id, b := range c.Placements() {
+		if b.Start%b.Size != 0 {
+			t.Errorf("job %s block %v misaligned", id, b)
+		}
+		for g := b.Start; g < b.End(); g++ {
+			if seen[g] != "" {
+				t.Fatalf("GPU %d owned by both %s and %s", g, seen[g], id)
+			}
+			seen[g] = id
+		}
+	}
+	owned := 0
+	for _, s := range seen {
+		if s != "" {
+			owned++
+		}
+	}
+	if owned+c.FreeGPUs() != c.TotalGPUs() {
+		t.Errorf("accounting broken: owned=%d free=%d total=%d", owned, c.FreeGPUs(), c.TotalGPUs())
+	}
+}
+
+// TestBuddyNoFragmentationProperty is the §4.3 theorem as a randomized
+// property: under power-of-two requests with migration, an allocation
+// succeeds iff enough GPUs are free, for any interleaving of allocs/frees.
+func TestBuddyNoFragmentationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := New(Config{Servers: 8, GPUsPerServer: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := map[string]bool{}
+		next := 0
+		for op := 0; op < 200; op++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				// Release a random live job.
+				for id := range live {
+					if err := c.Release(id); err != nil {
+						t.Logf("release: %v", err)
+						return false
+					}
+					delete(live, id)
+					break
+				}
+				continue
+			}
+			n := 1 << rng.Intn(5) // 1..16
+			id := fmt.Sprintf("q%d", next)
+			next++
+			freeBefore := c.FreeGPUs()
+			_, _, err := c.AllocateWithMigration(id, n)
+			if freeBefore >= n && err == nil {
+				live[id] = true
+				continue
+			}
+			if err == nil {
+				t.Logf("allocation of %d succeeded with only %d free", n, freeBefore)
+				return false
+			}
+			// err != nil is only acceptable when genuinely out of space.
+			if freeBefore >= n {
+				t.Logf("allocation of %d failed with %d free: %v", n, freeBefore, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCoalesceProperty: releasing everything always restores one maximal
+// free block, regardless of allocation order.
+func TestCoalesceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := New(Config{Servers: 4, GPUsPerServer: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []string
+		for i := 0; i < 40; i++ {
+			n := 1 << rng.Intn(4)
+			id := fmt.Sprintf("p%d", i)
+			if _, err := c.Allocate(id, n); err == nil {
+				ids = append(ids, id)
+			}
+		}
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		for _, id := range ids {
+			if err := c.Release(id); err != nil {
+				return false
+			}
+		}
+		return c.LargestFreeBlock() == c.TotalGPUs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocPolicyStrings(t *testing.T) {
+	for _, p := range []AllocPolicy{BestFit, FirstFit, WorstFit, AllocPolicy(9)} {
+		if p.String() == "" {
+			t.Errorf("empty string for policy %d", p)
+		}
+	}
+}
+
+// TestPolicyBlockChoice pins the distinguishing behaviour of each policy on
+// a hand-built free-list state: free blocks of size 2 at [2,4) and size 8 at
+// [8,16), request size 2.
+func TestPolicyBlockChoice(t *testing.T) {
+	build := func(policy AllocPolicy) *Cluster {
+		c, err := New(Config{Servers: 2, GPUsPerServer: 8, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Occupy [0,2) and [4,8); free: [2,4) and [8,16).
+		if _, err := c.Allocate("a", 2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Allocate("hole", 2); err != nil { // [2,4)
+			t.Fatal(err)
+		}
+		if _, err := c.Allocate("b", 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Release("hole"); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	for _, tc := range []struct {
+		policy    AllocPolicy
+		wantStart int
+	}{
+		{BestFit, 2},  // exact-size block [2,4)
+		{FirstFit, 2}, // lowest address overall is also [2,4)
+		{WorstFit, 8}, // splits the big block [8,16)
+	} {
+		c := build(tc.policy)
+		b, err := c.Allocate("x", 2)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.policy, err)
+		}
+		if b.Start != tc.wantStart {
+			t.Errorf("%v: allocated %v want start %d", tc.policy, b, tc.wantStart)
+		}
+	}
+	// A case separating FirstFit from BestFit: free = [8,16) and [4,8),
+	// request 4. BestFit takes [4,8); FirstFit also [4,8)... instead use
+	// free = size-4 at [8,12) after splitting vs size-2 at [2,4): request
+	// 2 → FirstFit prefers address 2; craft free = size-8 at [0,8) and
+	// size-2 at [10,12): FirstFit takes 0, BestFit takes 10.
+	mk := func(policy AllocPolicy) *Cluster {
+		c, err := New(Config{Servers: 2, GPUsPerServer: 8, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Allocate("low", 8); err != nil { // [0,8)
+			t.Fatal(err)
+		}
+		if _, err := c.Allocate("m1", 2); err != nil { // [8,10)
+			t.Fatal(err)
+		}
+		if _, err := c.Allocate("m2", 2); err != nil { // [10,12)
+			t.Fatal(err)
+		}
+		if _, err := c.Allocate("hi", 4); err != nil { // [12,16)
+			t.Fatal(err)
+		}
+		if err := c.Release("low"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Release("m2"); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	bf, err := mk(BestFit).Allocate("x", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Start != 10 {
+		t.Errorf("BestFit start=%d want 10 (exact-size hole)", bf.Start)
+	}
+	ff, err := mk(FirstFit).Allocate("x", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.Start != 0 {
+		t.Errorf("FirstFit start=%d want 0 (lowest address)", ff.Start)
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	for _, l := range []Level{LevelGPU, LevelSocket, LevelServer, LevelRack, LevelCluster, Level(9)} {
+		if l.String() == "" {
+			t.Errorf("empty string for level %d", l)
+		}
+	}
+}
+
+func TestBlockHelpers(t *testing.T) {
+	b := Block{Start: 4, Size: 4}
+	if !b.Contains(4) || !b.Contains(7) || b.Contains(8) || b.Contains(3) {
+		t.Error("Contains wrong")
+	}
+	if b.String() != "[4,8)" {
+		t.Errorf("String=%q", b.String())
+	}
+}
+
+func TestClusterConfigAndPlacement(t *testing.T) {
+	c := newTestCluster(t, 2, 8)
+	cfg := c.Config()
+	if cfg.Servers != 2 || cfg.GPUsPerServer != 8 || cfg.GPUsPerSocket != 4 {
+		t.Errorf("Config=%+v (defaults not applied?)", cfg)
+	}
+	if _, ok := c.Placement("none"); ok {
+		t.Error("Placement found for unknown job")
+	}
+	b, err := c.Allocate("x", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Placement("x")
+	if !ok || got != b {
+		t.Errorf("Placement=%v,%v want %v", got, ok, b)
+	}
+}
+
+func TestServerBlockAndJobsOn(t *testing.T) {
+	c := newTestCluster(t, 2, 8)
+	if _, err := c.ServerBlock(-1); err == nil {
+		t.Error("negative server accepted")
+	}
+	if _, err := c.ServerBlock(2); err == nil {
+		t.Error("out-of-range server accepted")
+	}
+	b0, err := c.ServerBlock(0)
+	if err != nil || b0.Start != 0 || b0.Size != 8 {
+		t.Fatalf("ServerBlock(0)=%v,%v", b0, err)
+	}
+	if _, err := c.Allocate("a", 4); err != nil { // [0,4)
+		t.Fatal(err)
+	}
+	if _, err := c.Allocate("b", 16); err == nil {
+		t.Fatal("oversub")
+	}
+	if _, err := c.Allocate("c", 8); err != nil { // [8,16)
+		t.Fatal(err)
+	}
+	on0 := c.JobsOn(b0)
+	if len(on0) != 1 || on0[0] != "a" {
+		t.Errorf("JobsOn(server0)=%v want [a]", on0)
+	}
+	b1, _ := c.ServerBlock(1)
+	if on1 := c.JobsOn(b1); len(on1) != 1 || on1[0] != "c" {
+		t.Errorf("JobsOn(server1)=%v want [c]", on1)
+	}
+}
+
+func TestReserve(t *testing.T) {
+	c := newTestCluster(t, 2, 8)
+	b1, _ := c.ServerBlock(1)
+	if err := c.Reserve("__down__", b1); err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	if c.FreeGPUs() != 8 {
+		t.Errorf("FreeGPUs=%d want 8 after reserving a server", c.FreeGPUs())
+	}
+	// Reserving an occupied block fails.
+	if err := c.Reserve("dup", b1); err == nil {
+		t.Error("double reservation succeeded")
+	}
+	// Misaligned blocks fail.
+	if err := c.Reserve("bad", Block{Start: 1, Size: 2}); err == nil {
+		t.Error("misaligned reservation succeeded")
+	}
+	// Same id twice fails.
+	if err := c.Release("__down__"); err != nil {
+		t.Fatal(err)
+	}
+	if c.LargestFreeBlock() != 16 {
+		t.Errorf("reservation release did not coalesce: %d", c.LargestFreeBlock())
+	}
+}

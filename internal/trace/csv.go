@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// CSV support for raw production traces. The paper's traces carry only
+// (submission time, #GPUs, duration) per job (§6.1); models, batch sizes
+// and deadline tightness are synthesized exactly as the paper does: a
+// random Table 1 (model, batch) pair per job and λ ~ U[0.5, 1.5].
+//
+// Required columns (header names, any order): submit_sec, gpus,
+// duration_sec. Optional: id, user, model, global_batch, lambda,
+// best_effort. Unknown columns are ignored.
+
+// LoadCSV reads a raw trace from path. name labels the trace, clusterGPUs
+// is the capacity to replay against, and seed drives the synthesis of any
+// absent columns.
+func LoadCSV(path, name string, clusterGPUs int, seed int64) (Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Trace{}, err
+	}
+	defer f.Close()
+	return ReadCSV(f, name, clusterGPUs, seed)
+}
+
+// ReadCSV is LoadCSV over an io.Reader.
+func ReadCSV(r io.Reader, name string, clusterGPUs int, seed int64) (Trace, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return Trace{}, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[strings.ToLower(strings.TrimSpace(h))] = i
+	}
+	for _, required := range []string{"submit_sec", "gpus", "duration_sec"} {
+		if _, ok := col[required]; !ok {
+			return Trace{}, fmt.Errorf("trace: CSV missing required column %q (have %v)", required, header)
+		}
+	}
+	get := func(rec []string, name string) (string, bool) {
+		i, ok := col[name]
+		if !ok || i >= len(rec) {
+			return "", false
+		}
+		return strings.TrimSpace(rec[i]), true
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	tr := Trace{Name: name, GPUs: clusterGPUs}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return Trace{}, fmt.Errorf("trace: CSV line %d: %w", line, err)
+		}
+		var it Item
+		if v, _ := get(rec, "submit_sec"); true {
+			if it.SubmitSec, err = strconv.ParseFloat(v, 64); err != nil {
+				return Trace{}, fmt.Errorf("trace: CSV line %d: submit_sec %q: %w", line, v, err)
+			}
+		}
+		if v, _ := get(rec, "gpus"); true {
+			if it.GPUs, err = strconv.Atoi(v); err != nil {
+				return Trace{}, fmt.Errorf("trace: CSV line %d: gpus %q: %w", line, v, err)
+			}
+		}
+		if v, _ := get(rec, "duration_sec"); true {
+			if it.DurationSec, err = strconv.ParseFloat(v, 64); err != nil {
+				return Trace{}, fmt.Errorf("trace: CSV line %d: duration_sec %q: %w", line, v, err)
+			}
+		}
+		if it.GPUs < 1 || it.DurationSec <= 0 {
+			return Trace{}, fmt.Errorf("trace: CSV line %d: non-positive gpus/duration", line)
+		}
+		// Clamp GPU requests to the largest power of two the paper's
+		// buddy discipline allows.
+		if it.GPUs&(it.GPUs-1) != 0 {
+			p := 1
+			for p*2 <= it.GPUs {
+				p *= 2
+			}
+			it.GPUs = p
+		}
+		if v, ok := get(rec, "id"); ok && v != "" {
+			it.ID = v
+		} else {
+			it.ID = fmt.Sprintf("%s-j%04d", name, len(tr.Items))
+		}
+		if v, ok := get(rec, "user"); ok {
+			it.User = v
+		}
+		if v, ok := get(rec, "model"); ok && v != "" {
+			it.Model = v
+			if b, ok := get(rec, "global_batch"); ok && b != "" {
+				if it.GlobalBatch, err = strconv.Atoi(b); err != nil {
+					return Trace{}, fmt.Errorf("trace: CSV line %d: global_batch %q: %w", line, b, err)
+				}
+			}
+		}
+		if it.Model == "" {
+			spec, batch := pickModel(rng, it.GPUs)
+			it.Model, it.GlobalBatch = spec.Name, batch
+		}
+		if v, ok := get(rec, "lambda"); ok && v != "" {
+			if it.Lambda, err = strconv.ParseFloat(v, 64); err != nil {
+				return Trace{}, fmt.Errorf("trace: CSV line %d: lambda %q: %w", line, v, err)
+			}
+		} else {
+			it.Lambda = 0.5 + rng.Float64() // paper's λ ~ U[0.5, 1.5]
+		}
+		if v, ok := get(rec, "best_effort"); ok && (v == "true" || v == "1") {
+			it.BestEffort = true
+		}
+		tr.Items = append(tr.Items, it)
+	}
+	// Replays expect submission order.
+	for i := 1; i < len(tr.Items); i++ {
+		if tr.Items[i].SubmitSec < tr.Items[i-1].SubmitSec {
+			sortItems(tr.Items)
+			break
+		}
+	}
+	return tr, nil
+}
+
+func sortItems(items []Item) {
+	// Insertion sort keeps equal-time submissions in file order.
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].SubmitSec < items[j-1].SubmitSec; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+}
+
+// SaveCSV writes the trace in the format ReadCSV accepts.
+func (t Trace) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteCSV is SaveCSV over an io.Writer.
+func (t Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "user", "model", "global_batch", "submit_sec", "duration_sec", "gpus", "lambda", "best_effort"}); err != nil {
+		return err
+	}
+	for _, it := range t.Items {
+		rec := []string{
+			it.ID,
+			it.User,
+			it.Model,
+			strconv.Itoa(it.GlobalBatch),
+			strconv.FormatFloat(it.SubmitSec, 'f', 3, 64),
+			strconv.FormatFloat(it.DurationSec, 'f', 3, 64),
+			strconv.Itoa(it.GPUs),
+			strconv.FormatFloat(it.Lambda, 'f', 4, 64),
+			strconv.FormatBool(it.BestEffort),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

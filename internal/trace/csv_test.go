@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVMinimalColumns(t *testing.T) {
+	// The paper's raw traces: only submission time, GPU count, duration.
+	csvData := `submit_sec,gpus,duration_sec
+0,1,600
+30,8,1200
+95,4,300
+60,3,900
+`
+	tr, err := ReadCSV(strings.NewReader(csvData), "raw", 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Items) != 4 {
+		t.Fatalf("got %d items", len(tr.Items))
+	}
+	// Sorted by submission even though the file was not.
+	prev := -1.0
+	for _, it := range tr.Items {
+		if it.SubmitSec < prev {
+			t.Fatal("items not sorted by submission")
+		}
+		prev = it.SubmitSec
+		// Synthesized fields.
+		if it.Model == "" || it.GlobalBatch == 0 {
+			t.Errorf("model/batch not synthesized: %+v", it)
+		}
+		if it.Lambda < 0.5 || it.Lambda > 1.5 {
+			t.Errorf("lambda %v outside the paper's range", it.Lambda)
+		}
+		if it.GPUs&(it.GPUs-1) != 0 {
+			t.Errorf("GPU count %d not a power of two after clamping", it.GPUs)
+		}
+	}
+	// The 3-GPU request was clamped down to 2.
+	found := false
+	for _, it := range tr.Items {
+		if it.SubmitSec == 60 && it.GPUs == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("non-power-of-two request not clamped to 2")
+	}
+}
+
+func TestReadCSVFullColumns(t *testing.T) {
+	csvData := `id,user,model,global_batch,submit_sec,duration_sec,gpus,lambda,best_effort
+j1,alice,bert,128,0,600,4,0.8,false
+j2,bob,resnet50,256,10,1200,8,1.2,true
+`
+	tr, err := ReadCSV(strings.NewReader(csvData), "full", 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tr.Items[0], tr.Items[1]
+	if a.ID != "j1" || a.User != "alice" || a.Model != "bert" || a.GlobalBatch != 128 || a.Lambda != 0.8 || a.BestEffort {
+		t.Errorf("item a = %+v", a)
+	}
+	if b.ID != "j2" || !b.BestEffort {
+		t.Errorf("item b = %+v", b)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"gpus,duration_sec\n1,2\n",                 // missing submit_sec
+		"submit_sec,gpus,duration_sec\nx,1,2\n",    // bad float
+		"submit_sec,gpus,duration_sec\n0,zero,2\n", // bad int
+		"submit_sec,gpus,duration_sec\n0,0,600\n",  // zero gpus
+		"submit_sec,gpus,duration_sec\n0,1,-5\n",   // negative duration
+		"submit_sec,gpus,duration_sec\n0,1\n",      // short record
+	}
+	for i, data := range cases {
+		if _, err := ReadCSV(strings.NewReader(data), "bad", 8, 1); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := Generate(Config{Name: "rt", Jobs: 25, ClusterGPUs: 64, Seed: 5, Users: 3, BestEffortFraction: 0.2})
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(bytes.NewReader(buf.Bytes()), "rt", 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != len(orig.Items) {
+		t.Fatalf("item count %d want %d", len(got.Items), len(orig.Items))
+	}
+	for i := range got.Items {
+		o, g := orig.Items[i], got.Items[i]
+		if o.ID != g.ID || o.User != g.User || o.Model != g.Model || o.GlobalBatch != g.GlobalBatch ||
+			o.GPUs != g.GPUs || o.BestEffort != g.BestEffort {
+			t.Errorf("item %d changed: %+v vs %+v", i, o, g)
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.csv")
+	orig := Generate(Config{Name: "f", Jobs: 5, ClusterGPUs: 32, Seed: 3})
+	if err := orig.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(path, "f", 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != 5 {
+		t.Fatalf("items=%d", len(got.Items))
+	}
+	if _, err := LoadCSV(filepath.Join(t.TempDir(), "missing.csv"), "x", 8, 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}

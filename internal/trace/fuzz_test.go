@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the trace parser never panics and that every
+// successfully parsed trace upholds its invariants, whatever bytes arrive.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("submit_sec,gpus,duration_sec\n0,1,600\n")
+	f.Add("id,user,model,global_batch,submit_sec,duration_sec,gpus,lambda,best_effort\nj1,a,bert,128,0,600,4,0.8,false\n")
+	f.Add("submit_sec,gpus,duration_sec\n")
+	f.Add("submit_sec,gpus,duration_sec\n1e9,1024,1\n5,7,2\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(strings.NewReader(data), "fuzz", 64, 1)
+		if err != nil {
+			return
+		}
+		prev := -1e300
+		for _, it := range tr.Items {
+			if it.SubmitSec < prev {
+				t.Fatalf("items not sorted: %v after %v", it.SubmitSec, prev)
+			}
+			prev = it.SubmitSec
+			if it.GPUs < 1 || it.GPUs&(it.GPUs-1) != 0 {
+				t.Fatalf("non-power-of-two GPU count %d survived parsing", it.GPUs)
+			}
+			if it.DurationSec <= 0 {
+				t.Fatalf("non-positive duration %v survived parsing", it.DurationSec)
+			}
+			if it.Model == "" || it.GlobalBatch == 0 {
+				t.Fatalf("model/batch not synthesized: %+v", it)
+			}
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a trace's shape: the distributions that drive scheduler
+// behaviour (§6.1).
+type Stats struct {
+	Jobs        int
+	SpanSec     float64
+	ClusterGPUs int
+	// OfferedLoad is requested GPU·seconds over cluster GPU·seconds
+	// across the arrival span.
+	OfferedLoad float64
+	// GPUHistogram counts jobs per requested worker count.
+	GPUHistogram map[int]int
+	// ModelHistogram counts jobs per model.
+	ModelHistogram map[string]int
+	// DurationP50, P90 and Max summarize traced durations in seconds.
+	DurationP50 float64
+	DurationP90 float64
+	DurationMax float64
+	// MeanLambda is the average deadline tightness.
+	MeanLambda float64
+	// BestEffortFraction is the share of jobs without deadlines.
+	BestEffortFraction float64
+}
+
+// Stats computes summary statistics of the trace.
+func (t Trace) Stats() Stats {
+	s := Stats{
+		Jobs:           len(t.Items),
+		SpanSec:        t.Span(),
+		ClusterGPUs:    t.GPUs,
+		GPUHistogram:   make(map[int]int),
+		ModelHistogram: make(map[string]int),
+	}
+	if len(t.Items) == 0 {
+		return s
+	}
+	durations := make([]float64, 0, len(t.Items))
+	gpuSeconds := 0.0
+	lambdaSum := 0.0
+	be := 0
+	for _, it := range t.Items {
+		s.GPUHistogram[it.GPUs]++
+		s.ModelHistogram[it.Model]++
+		durations = append(durations, it.DurationSec)
+		gpuSeconds += float64(it.GPUs) * it.DurationSec
+		lambdaSum += it.Lambda
+		if it.BestEffort {
+			be++
+		}
+	}
+	sort.Float64s(durations)
+	q := func(p float64) float64 { return durations[int(p*float64(len(durations)-1))] }
+	s.DurationP50 = q(0.5)
+	s.DurationP90 = q(0.9)
+	s.DurationMax = durations[len(durations)-1]
+	s.MeanLambda = lambdaSum / float64(len(t.Items))
+	s.BestEffortFraction = float64(be) / float64(len(t.Items))
+	if t.GPUs > 0 && s.SpanSec > 0 {
+		s.OfferedLoad = gpuSeconds / (float64(t.GPUs) * s.SpanSec)
+	} else if t.GPUs > 0 {
+		s.OfferedLoad = math.Inf(1)
+	}
+	return s
+}
+
+// String renders the statistics as a short human-readable report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs          %d\n", s.Jobs)
+	fmt.Fprintf(&b, "cluster       %d GPUs\n", s.ClusterGPUs)
+	fmt.Fprintf(&b, "span          %.2fh\n", s.SpanSec/3600)
+	fmt.Fprintf(&b, "offered load  %.2f\n", s.OfferedLoad)
+	fmt.Fprintf(&b, "duration      p50 %.0fs  p90 %.0fs  max %.0fs\n", s.DurationP50, s.DurationP90, s.DurationMax)
+	fmt.Fprintf(&b, "mean lambda   %.2f\n", s.MeanLambda)
+	if s.BestEffortFraction > 0 {
+		fmt.Fprintf(&b, "best-effort   %.0f%%\n", 100*s.BestEffortFraction)
+	}
+	var gpus []int
+	for g := range s.GPUHistogram {
+		gpus = append(gpus, g)
+	}
+	sort.Ints(gpus)
+	b.WriteString("gpu counts    ")
+	for i, g := range gpus {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%d×%d", g, s.GPUHistogram[g])
+	}
+	b.WriteByte('\n')
+	var models []string
+	for m := range s.ModelHistogram {
+		models = append(models, m)
+	}
+	sort.Strings(models)
+	b.WriteString("models        ")
+	for i, m := range models {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%s×%d", m, s.ModelHistogram[m])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/model"
+	"github.com/elasticflow/elasticflow/internal/throughput"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Name: "t", Jobs: 50, ClusterGPUs: 64, Seed: 7}
+	a, b := Generate(cfg), Generate(cfg)
+	if len(a.Items) != 50 || len(b.Items) != 50 {
+		t.Fatalf("lengths %d/%d want 50", len(a.Items), len(b.Items))
+	}
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			t.Fatalf("item %d differs between equal seeds", i)
+		}
+	}
+	c := Generate(Config{Name: "t", Jobs: 50, ClusterGPUs: 64, Seed: 8})
+	same := true
+	for i := range a.Items {
+		if a.Items[i].SubmitSec != c.Items[i].SubmitSec {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	tr := Generate(Config{Name: "t", Jobs: 500, ClusterGPUs: 128, Seed: 1})
+	prev := 0.0
+	small := 0
+	for _, it := range tr.Items {
+		if it.SubmitSec < prev {
+			t.Fatal("submissions not monotonically increasing")
+		}
+		prev = it.SubmitSec
+		if it.GPUs&(it.GPUs-1) != 0 || it.GPUs < 1 || it.GPUs > 32 {
+			t.Errorf("GPU count %d not a power of two in [1,32]", it.GPUs)
+		}
+		if it.DurationSec < 120 || it.DurationSec > 48*3600 {
+			t.Errorf("duration %v out of bounds", it.DurationSec)
+		}
+		if it.Lambda < 0.5 || it.Lambda > 1.5 {
+			t.Errorf("lambda %v outside [0.5,1.5] (§6.1)", it.Lambda)
+		}
+		if _, err := model.ByName(it.Model); err != nil {
+			t.Errorf("unknown model %s", it.Model)
+		}
+		if it.GPUs <= 2 {
+			small++
+		}
+	}
+	// Philly-like: most jobs are small.
+	if frac := float64(small) / float64(len(tr.Items)); frac < 0.5 {
+		t.Errorf("small-job fraction %.2f, want majority", frac)
+	}
+}
+
+func TestGenerateLoadScalesArrivals(t *testing.T) {
+	lo := Generate(Config{Name: "lo", Jobs: 200, ClusterGPUs: 128, Load: 0.5, Seed: 3})
+	hi := Generate(Config{Name: "hi", Jobs: 200, ClusterGPUs: 128, Load: 2.0, Seed: 3})
+	if hi.Span() >= lo.Span() {
+		t.Errorf("higher load should compress arrivals: hi span %.0f ≥ lo span %.0f", hi.Span(), lo.Span())
+	}
+}
+
+func TestGenerateBestEffortFraction(t *testing.T) {
+	tr := Generate(Config{Name: "be", Jobs: 400, ClusterGPUs: 64, BestEffortFraction: 0.5, Seed: 5})
+	n := 0
+	for _, it := range tr.Items {
+		if it.BestEffort {
+			n++
+		}
+	}
+	if n < 120 || n > 280 {
+		t.Errorf("best-effort count %d far from half of 400", n)
+	}
+}
+
+func TestJobsMaterialization(t *testing.T) {
+	est := throughput.NewEstimator(model.DefaultA100())
+	prof := throughput.NewProfiler(est, 8, 128)
+	tr := Generate(Config{Name: "m", Jobs: 60, ClusterGPUs: 64, Seed: 11, BestEffortFraction: 0.2})
+	jobs, err := tr.Jobs(prof, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 60 {
+		t.Fatalf("got %d jobs want 60", len(jobs))
+	}
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Errorf("job %d invalid: %v", i, err)
+		}
+		if j.Class.String() == "slo" {
+			// Deadline = submit + λ·duration ⇒ within [0.5, 1.5]× the
+			// duration implied by iterations at the requested count.
+			dur := j.TotalIters / j.Curve.At(j.RequestedGPUs)
+			lam := (j.Deadline - j.SubmitTime) / dur
+			if lam < 0.49 || lam > 1.51 {
+				t.Errorf("job %s: implied λ=%.2f outside [0.5,1.5]", j.ID, lam)
+			}
+		} else if !math.IsInf(j.Deadline, 1) {
+			t.Errorf("best-effort job %s has finite deadline", j.ID)
+		}
+		if j.RescaleOverheadSec <= 0 {
+			t.Errorf("job %s missing rescale overhead", j.ID)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	tr := Generate(Config{Name: "rt", Jobs: 10, ClusterGPUs: 32, Seed: 2})
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.GPUs != tr.GPUs || len(got.Items) != len(tr.Items) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, tr)
+	}
+	for i := range got.Items {
+		if got.Items[i] != tr.Items[i] {
+			t.Errorf("item %d differs after round trip", i)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("loading missing file succeeded")
+	}
+}
+
+func TestProductionTraces(t *testing.T) {
+	traces := ProductionTraces(30)
+	if len(traces) != 10 {
+		t.Fatalf("got %d traces want 10 (§6.1)", len(traces))
+	}
+	seen := map[string]bool{}
+	for _, tr := range traces {
+		if seen[tr.Name] {
+			t.Errorf("duplicate trace name %s", tr.Name)
+		}
+		seen[tr.Name] = true
+		if len(tr.Items) != 30 {
+			t.Errorf("trace %s has %d jobs want 30", tr.Name, len(tr.Items))
+		}
+		if tr.GPUs < 64 || tr.GPUs > 512 {
+			t.Errorf("trace %s cluster size %d outside [64,512]", tr.Name, tr.GPUs)
+		}
+	}
+}
+
+func TestPhillyTrace(t *testing.T) {
+	tr := PhillyTrace(40)
+	if tr.Name != "philly" || len(tr.Items) != 40 {
+		t.Fatalf("unexpected philly trace: %s/%d", tr.Name, len(tr.Items))
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := Generate(Config{Name: "s", Jobs: 200, ClusterGPUs: 128, Load: 1.0, Seed: 6, BestEffortFraction: 0.25})
+	s := tr.Stats()
+	if s.Jobs != 200 || s.ClusterGPUs != 128 {
+		t.Fatalf("basic fields wrong: %+v", s)
+	}
+	// The generator targets the configured offered load; allow slack for
+	// sampling noise.
+	if s.OfferedLoad < 0.5 || s.OfferedLoad > 2.0 {
+		t.Errorf("offered load %.2f far from target 1.0", s.OfferedLoad)
+	}
+	if s.DurationP50 > s.DurationP90 || s.DurationP90 > s.DurationMax {
+		t.Errorf("duration percentiles not monotone: %+v", s)
+	}
+	if s.MeanLambda < 0.85 || s.MeanLambda > 1.15 {
+		t.Errorf("mean lambda %.2f far from 1.0 (U[0.5,1.5])", s.MeanLambda)
+	}
+	if s.BestEffortFraction < 0.1 || s.BestEffortFraction > 0.4 {
+		t.Errorf("best-effort fraction %.2f far from 0.25", s.BestEffortFraction)
+	}
+	total := 0
+	for _, n := range s.GPUHistogram {
+		total += n
+	}
+	if total != 200 {
+		t.Errorf("GPU histogram sums to %d", total)
+	}
+	if out := s.String(); out == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s := (Trace{GPUs: 8}).Stats()
+	if s.Jobs != 0 || s.OfferedLoad != 0 {
+		t.Errorf("empty trace stats: %+v", s)
+	}
+}
+
+// TestBurstArrivalsCluster: burst configuration concentrates submissions
+// inside the burst windows.
+func TestBurstArrivalsCluster(t *testing.T) {
+	flat := Generate(Config{Name: "flat", Jobs: 400, ClusterGPUs: 128, Seed: 9})
+	bursty := Generate(Config{
+		Name: "burst", Jobs: 400, ClusterGPUs: 128, Seed: 9,
+		BurstEverySec: 3600, BurstFactor: 6,
+	})
+	inWindow := func(tr Trace) float64 {
+		n := 0
+		for _, it := range tr.Items {
+			if int(it.SubmitSec)%3600 < 900 {
+				n++
+			}
+		}
+		return float64(n) / float64(len(tr.Items))
+	}
+	f, b := inWindow(flat), inWindow(bursty)
+	if b <= f+0.1 {
+		t.Errorf("burst window share %.2f not above flat %.2f", b, f)
+	}
+	// Still sorted and deterministic.
+	prev := 0.0
+	for _, it := range bursty.Items {
+		if it.SubmitSec < prev {
+			t.Fatal("bursty submissions not sorted")
+		}
+		prev = it.SubmitSec
+	}
+}

@@ -1,0 +1,98 @@
+// Package validate audits simulation results against the platform's
+// invariants after the fact — an independent check that no code path bent
+// the rules: capacity is never exceeded, deadline accounting is consistent,
+// and per-job resource accounting is sane. Experiments and tests run every
+// result through Audit as a belt-and-braces guard.
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/elasticflow/elasticflow/internal/sim"
+)
+
+// Audit checks res against the invariants for a cluster of the given
+// capacity. It returns human-readable violations; an empty slice means the
+// result is internally consistent.
+func Audit(res sim.Result, capacity int) []string {
+	var v []string
+
+	// Timeline invariants.
+	prev := math.Inf(-1)
+	for i, s := range res.Samples {
+		if s.Time < prev {
+			v = append(v, fmt.Sprintf("sample %d: time %.3f before previous %.3f", i, s.Time, prev))
+		}
+		prev = s.Time
+		if s.UsedGPUs < 0 || s.UsedGPUs > capacity {
+			v = append(v, fmt.Sprintf("sample %d (t=%.0f): %d GPUs in use, capacity %d", i, s.Time, s.UsedGPUs, capacity))
+		}
+		if s.ClusterEfficiency < 0 {
+			v = append(v, fmt.Sprintf("sample %d: negative cluster efficiency %f", i, s.ClusterEfficiency))
+		}
+		if s.Admitted+s.Dropped != s.Submitted {
+			v = append(v, fmt.Sprintf("sample %d: admitted %d + dropped %d != submitted %d", i, s.Admitted, s.Dropped, s.Submitted))
+		}
+		if s.Running > s.Admitted {
+			v = append(v, fmt.Sprintf("sample %d: running %d exceeds admitted %d", i, s.Running, s.Admitted))
+		}
+	}
+
+	// Per-job invariants.
+	for _, j := range res.Jobs {
+		switch {
+		case j.Dropped && j.Finished:
+			v = append(v, fmt.Sprintf("job %s: both dropped and finished", j.ID))
+		case j.Dropped && j.GPUSeconds > 0:
+			v = append(v, fmt.Sprintf("job %s: dropped but consumed %.1f GPU·s", j.ID, j.GPUSeconds))
+		}
+		if j.Finished {
+			if j.Completion < j.Submit {
+				v = append(v, fmt.Sprintf("job %s: completed at %.1f before submission %.1f", j.ID, j.Completion, j.Submit))
+			}
+			if !math.IsInf(j.Deadline, 1) {
+				onTime := j.Completion <= j.Deadline+1e-6
+				if j.Met != onTime {
+					v = append(v, fmt.Sprintf("job %s: Met=%t but completion %.1f vs deadline %.1f", j.ID, j.Met, j.Completion, j.Deadline))
+				}
+			}
+			if !j.Dropped && j.GPUSeconds <= 0 {
+				v = append(v, fmt.Sprintf("job %s: finished without consuming GPU time", j.ID))
+			}
+			// A job cannot consume more GPU time than holding the whole
+			// cluster for its entire lifetime.
+			if max := float64(capacity) * (j.Completion - j.Submit); j.GPUSeconds > max+1e-6 {
+				v = append(v, fmt.Sprintf("job %s: %.1f GPU·s exceeds lifetime bound %.1f", j.ID, j.GPUSeconds, max))
+			}
+		}
+		if j.Met && !j.Finished {
+			v = append(v, fmt.Sprintf("job %s: met its deadline without finishing", j.ID))
+		}
+		if j.Completion > res.Makespan+1e-6 {
+			v = append(v, fmt.Sprintf("job %s: completion %.1f after makespan %.1f", j.ID, j.Completion, res.Makespan))
+		}
+	}
+
+	// Aggregate invariants.
+	if dsr := res.DeadlineSatisfactoryRatio(); dsr < 0 || dsr > 1 {
+		v = append(v, fmt.Sprintf("deadline satisfactory ratio %f outside [0,1]", dsr))
+	}
+	return v
+}
+
+// AuditGuarantee additionally enforces the ElasticFlow-specific promise
+// (§3.1): every admitted job with a deadline met it. Only meaningful for
+// results produced by the ElasticFlow scheduler without injected failures.
+func AuditGuarantee(res sim.Result) []string {
+	var v []string
+	for _, j := range res.Jobs {
+		if j.Dropped || math.IsInf(j.Deadline, 1) {
+			continue
+		}
+		if !j.Met {
+			v = append(v, fmt.Sprintf("job %s: admitted but missed its deadline (completion %.1f, deadline %.1f)", j.ID, j.Completion, j.Deadline))
+		}
+	}
+	return v
+}
