@@ -1,0 +1,35 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+GO ?= go
+
+.PHONY: all build test vet lint race fuzz-smoke ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs the repo's own analyzers (cmd/eflint): determinism in the
+# simulator, `guarded by` mutex annotations, float equality, and discarded
+# errors. Suppress a finding with `//eflint:ignore <analyzer> <reason>` on
+# the same or preceding line; see DESIGN.md for conventions.
+lint:
+	$(GO) run ./cmd/eflint ./...
+
+race:
+	$(GO) test -race ./...
+
+# fuzz-smoke gives each fuzz target a short budget — enough to replay the
+# corpus and shake out shallow regressions without stalling CI.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzFill -fuzztime=10s ./internal/plan/
+	$(GO) test -run=^$$ -fuzz=FuzzAdmissionControl -fuzztime=10s ./internal/core/
+
+ci: build vet lint race fuzz-smoke

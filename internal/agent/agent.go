@@ -111,7 +111,8 @@ type StatusReply struct {
 type Agent struct {
 	name string
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	// tasks maps job IDs to their live training tasks. guarded by mu
 	tasks map[string]*task
 }
 
@@ -232,6 +233,7 @@ func (a *Agent) Listen(addr string) (string, func(), error) {
 	if err != nil {
 		return "", nil, err
 	}
+	//eflint:ignore errlint Serve returns nil on clean listener close; surfacing crash errors from this goroutine needs a logger (ROADMAP)
 	go func() { _ = a.Serve(l) }()
 	return l.Addr().String(), func() { _ = l.Close() }, nil
 }

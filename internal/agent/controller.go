@@ -17,9 +17,9 @@ import (
 // parameters").
 type Controller struct {
 	mu      sync.Mutex
-	clients map[string]*rpc.Client // agent name → connection
-	specs   map[string]TaskSpec    // job → spec
-	homes   map[string]string      // job → agent name
+	clients map[string]*rpc.Client // agent name → connection. guarded by mu
+	specs   map[string]TaskSpec    // job → spec. guarded by mu
+	homes   map[string]string      // job → agent name. guarded by mu
 }
 
 // NewController creates a controller with no connections.

@@ -1,0 +1,119 @@
+// Package analysistest runs an analyzer over golden fixture packages and
+// checks its findings against // want comments, mirroring (a useful subset
+// of) golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture layout: <testdata>/src/<pkg>/... — each fixture package is loaded
+// with the testdata src directory as the module root, so sibling fixture
+// packages can import each other by their directory names.
+//
+// Expectations are written on the line the finding lands on:
+//
+//	rand.Intn(3) // want "global math/rand"
+//
+// The string is a substring match against the diagnostic message; several
+// // want clauses on one line demand several diagnostics. Lines without a
+// // want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`// want ("[^"]*"(?:\s+"[^"]*")*)\s*$`)
+
+type key struct {
+	file string
+	line int
+}
+
+// Run applies a to the fixture package pkg under dir/src and reports any
+// mismatch between its diagnostics and the // want comments via t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	root := filepath.Join(dir, "src")
+	loader := analysis.NewLoader("", root)
+	p, err := loader.LoadDir(filepath.Join(root, filepath.FromSlash(pkg)))
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkg, err)
+	}
+	pass := analysis.NewPass(a, p)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	unmatched := collectWants(t, p.Dir)
+	for _, d := range pass.Diagnostics() {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		ws := unmatched[k]
+		matched := -1
+		for i, w := range ws {
+			if strings.Contains(d.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+			continue
+		}
+		unmatched[k] = append(ws[:matched], ws[matched+1:]...)
+	}
+	for k, ws := range unmatched {
+		for _, w := range ws {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", a.Name, k.file, k.line, w)
+		}
+	}
+}
+
+// collectWants scans every fixture file for // want comments and returns the
+// expected substrings per (file, line).
+func collectWants(t *testing.T, dir string) map[key][]string {
+	t.Helper()
+	out := make(map[key][]string)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		filename := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(filename)
+		if err != nil {
+			t.Fatalf("reading %s: %v", filename, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			k := key{filename, i + 1}
+			out[k] = append(out[k], splitQuoted(m[1])...)
+		}
+	}
+	return out
+}
+
+// splitQuoted splits `"a" "b"` into its quoted pieces.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexByte(s, '"')
+		if start < 0 {
+			return out
+		}
+		end := strings.IndexByte(s[start+1:], '"')
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[start+1:start+1+end])
+		s = s[start+1+end+1:]
+	}
+}

@@ -1,0 +1,87 @@
+// Package det is the detlint golden fixture: wall clocks, global math/rand
+// and unsorted map iteration, plus the compliant forms of each.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func elapsed(t time.Time) float64 {
+	return time.Since(t).Seconds() // want "time.Since reads the wall clock"
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want "global math/rand.Intn breaks reproducibility"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "global math/rand.Float64 breaks reproducibility"
+}
+
+// seeded constructs an explicit generator: the compliant form.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// suppressed demonstrates a documented exception.
+func suppressed() int {
+	//eflint:ignore detlint fixture demonstrating a documented exception
+	return rand.Intn(8)
+}
+
+// unsortedKeys builds a slice in map order and leaves it that way.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "inside iteration over map m without a deterministic sort"
+	}
+	return keys
+}
+
+// sortedKeys is the compliant form: the slice is sorted before use.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedBySlice exercises sort.Slice detection.
+func sortedBySlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, k int) bool { return vals[i] < vals[k] })
+	return vals
+}
+
+// loopLocal appends to a slice that does not outlive one iteration: order
+// cannot leak.
+func loopLocal(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		vals := []int{}
+		vals = append(vals, v)
+		total += vals[0]
+	}
+	return total
+}
+
+// sliceRange ranges over a slice, not a map: deterministic already.
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

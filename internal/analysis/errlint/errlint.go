@@ -1,0 +1,138 @@
+// Package errlint reports discarded error returns from functions defined in
+// this module — stricter than go vet's errcheck-lite, which only knows a
+// fixed list of standard-library functions. In a platform whose checkpoint/
+// restore, placement and admission paths all signal failure through errors,
+// a silently dropped error means a job that thinks it migrated but didn't,
+// or a placement that half-happened.
+//
+// Two shapes are flagged, whether the callee is module-local:
+//
+//	pool.Apply(alloc)            // call statement discarding all results
+//	_ = ctrl.Stop(id)            // blank assignment of an error result
+//	go a.Serve(l); defer c.Close // go/defer with discarded module errors
+//
+// Standard-library and third-party callees are vet's business, not ours.
+package errlint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/elasticflow/elasticflow/internal/analysis"
+)
+
+// Analyzer is the errlint analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errlint",
+	Doc:  "reports discarded error results from functions defined in this module",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call)
+				}
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, n.Call)
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, n.Call)
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// moduleCallee resolves call to a function or method defined in the module
+// under analysis, or nil.
+func moduleCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || !pass.ModuleLocal(fn.Pkg().Path()) {
+		return nil
+	}
+	return fn
+}
+
+// errorResults returns the indices of error-typed results of fn's signature.
+func errorResults(fn *types.Func) []int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+// checkDiscardedCall flags a statement-position call (plain, go or defer)
+// whose module-local callee returns an error nobody looks at.
+func checkDiscardedCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := moduleCallee(pass, call)
+	if fn == nil || len(errorResults(fn)) == 0 {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s.%s returns an error that is discarded", fn.Pkg().Name(), fn.Name())
+}
+
+// checkBlankAssign flags assignments that route a module-local error result
+// into the blank identifier: _ = f() and v, _ := f() where the _ position is
+// the error.
+func checkBlankAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := moduleCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	errIdx := errorResults(fn)
+	if len(errIdx) == 0 {
+		return
+	}
+	isErr := make(map[int]bool, len(errIdx))
+	for _, i := range errIdx {
+		isErr[i] = true
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		// Single-value form (_ = f()): the sole LHS discards the first
+		// error result regardless of index.
+		if len(as.Lhs) == 1 && len(errIdx) > 0 {
+			pass.Reportf(id.Pos(), "error result of %s.%s assigned to _", fn.Pkg().Name(), fn.Name())
+			return
+		}
+		if isErr[i] {
+			pass.Reportf(id.Pos(), "error result of %s.%s assigned to _", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}

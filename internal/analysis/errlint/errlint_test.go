@@ -1,0 +1,12 @@
+package errlint_test
+
+import (
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/analysis/analysistest"
+	"github.com/elasticflow/elasticflow/internal/analysis/errlint"
+)
+
+func TestErrlint(t *testing.T) {
+	analysistest.Run(t, "testdata", errlint.Analyzer, "example.com/errs")
+}

@@ -1,0 +1,12 @@
+package floatlint_test
+
+import (
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/analysis/analysistest"
+	"github.com/elasticflow/elasticflow/internal/analysis/floatlint"
+)
+
+func TestFloatlint(t *testing.T) {
+	analysistest.Run(t, "testdata", floatlint.Analyzer, "floatcmp")
+}

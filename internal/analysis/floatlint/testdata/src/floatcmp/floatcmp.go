@@ -1,0 +1,55 @@
+// Package floatcmp is the floatlint golden fixture: exact float equality in
+// its flagged and exempt forms.
+package floatcmp
+
+type deadline = float64
+
+func equal(a, b float64) bool {
+	return a == b // want "float == float compares exact binary representations"
+}
+
+func notEqual(a, b float64) bool {
+	if a != b { // want "float != float compares exact binary representations"
+		return true
+	}
+	return false
+}
+
+func named(a, b deadline) bool {
+	return a == b // want "float == float compares exact binary representations"
+}
+
+func float32s(a, b float32) bool {
+	return a == b // want "float == float compares exact binary representations"
+}
+
+// sentinel compares against a compile-time constant — the "was this option
+// ever set" idiom — and is exempt.
+func sentinel(a float64) bool {
+	return a == 0
+}
+
+func sentinelNamed(a float64) bool {
+	const unset = 0.0
+	return a != unset
+}
+
+// ints are exact: not floatlint's business.
+func ints(a, b int) bool { return a == b }
+
+// ordered rewrites are the recommended comparator form.
+func less(a, b float64, tieA, tieB string) bool {
+	if a < b {
+		return true
+	}
+	if a > b {
+		return false
+	}
+	return tieA < tieB
+}
+
+// suppressed demonstrates a documented exception.
+func suppressed(a, b float64) bool {
+	//eflint:ignore floatlint fixture demonstrating a documented exception
+	return a == b
+}

@@ -1,0 +1,12 @@
+package guardlint_test
+
+import (
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/analysis/analysistest"
+	"github.com/elasticflow/elasticflow/internal/analysis/guardlint"
+)
+
+func TestGuardlint(t *testing.T) {
+	analysistest.Run(t, "testdata", guardlint.Analyzer, "guard")
+}

@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// PkgPath is the import path; Dir the directory it was loaded from.
+	PkgPath string
+	Dir     string
+	// RelPath is PkgPath relative to the module root ("" for the module
+	// root package, "-" for packages outside the module).
+	RelPath string
+	// ModulePath is the module the loader analyzes.
+	ModulePath string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	supp []suppression
+}
+
+// Loader discovers, parses and type-checks packages of one module from
+// source. Standard-library imports resolve through the toolchain's compiled
+// export data (go/importer.Default); module-internal imports are loaded
+// recursively from source. Test files (_test.go) are excluded: the analyzers
+// police production code, and loading external test packages would double
+// the loader's complexity for little return.
+type Loader struct {
+	// ModulePath and RootDir locate the module under analysis. ModulePath
+	// may be empty (analysistest), in which case import paths are the
+	// directory paths relative to RootDir.
+	ModulePath string
+	RootDir    string
+
+	Fset    *token.FileSet
+	pkgs    map[string]*Package // keyed by import path
+	loading map[string]bool     // import-cycle detection
+	std     types.Importer
+}
+
+// NewLoader creates a loader for the module rooted at rootDir.
+func NewLoader(modulePath, rootDir string) *Loader {
+	return &Loader{
+		ModulePath: modulePath,
+		RootDir:    rootDir,
+		Fset:       token.NewFileSet(),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+		std:        importer.Default(),
+	}
+}
+
+// dirFor maps a module-internal import path to its directory.
+func (l *Loader) dirFor(pkgPath string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(pkgPath, l.ModulePath), "/")
+	return filepath.Join(l.RootDir, filepath.FromSlash(rel))
+}
+
+// pathFor maps a directory inside the module to its import path.
+func (l *Loader) pathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	root, err := filepath.Abs(l.RootDir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module root %s", dir, root)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	if l.ModulePath == "" {
+		return filepath.ToSlash(rel), nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// LoadDir loads the package in dir (and, transitively, its module-internal
+// imports).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	pkgPath, err := l.pathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(pkgPath, dir)
+}
+
+func (l *Loader) load(pkgPath, dir string) (*Package, error) {
+	if p, ok := l.pkgs[pkgPath]; ok {
+		return p, nil
+	}
+	if l.loading[pkgPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", pkgPath)
+	}
+	l.loading[pkgPath] = true
+	defer delete(l.loading, pkgPath)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importerFunc(func(path string) (*types.Package, error) {
+		return l.importPkg(path)
+	})}
+	tpkg, err := conf.Check(pkgPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", pkgPath, err)
+	}
+
+	rel := "-"
+	if l.ModulePath == "" {
+		rel = pkgPath
+	} else if pkgPath == l.ModulePath {
+		rel = ""
+	} else if strings.HasPrefix(pkgPath, l.ModulePath+"/") {
+		rel = strings.TrimPrefix(pkgPath, l.ModulePath+"/")
+	}
+	p := &Package{
+		PkgPath:    pkgPath,
+		Dir:        dir,
+		RelPath:    rel,
+		ModulePath: l.ModulePath,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[pkgPath] = p
+	return p, nil
+}
+
+// importPkg resolves one import for the type checker.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	moduleLocal := false
+	switch {
+	case l.ModulePath != "" && (path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")):
+		moduleLocal = true
+	case l.ModulePath == "" && !isStdlibPath(path):
+		// analysistest fixtures import siblings by relative-style paths
+		// ("guard/helper"); anything with a dot-free first element that
+		// exists under the root also resolves locally.
+		moduleLocal = true
+	case l.ModulePath == "":
+		if _, err := os.Stat(filepath.Join(l.RootDir, filepath.FromSlash(path))); err == nil {
+			moduleLocal = true
+		}
+	}
+	if moduleLocal {
+		dir := l.dirFor(path)
+		if l.ModulePath == "" {
+			dir = filepath.Join(l.RootDir, filepath.FromSlash(path))
+		}
+		p, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ExpandPatterns resolves go-style package patterns ("./...", "./internal/...",
+// "./cmd/eflint") into package directories under root. Directories named
+// testdata, hidden directories and directories without buildable Go files
+// are skipped.
+func ExpandPatterns(root string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(root, base)
+		}
+		if !recursive {
+			if hasGoFiles(base) {
+				add(base)
+			} else {
+				return nil, fmt.Errorf("analysis: no buildable Go files in %s", base)
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one non-test Go
+// file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

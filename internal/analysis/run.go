@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Run loads every package matched by patterns under the module rooted at
+// rootDir and applies the analyzers, returning the surviving (unsuppressed)
+// diagnostics in stable order. Malformed suppression comments are reported
+// once per package under the pseudo-analyzer "eflint".
+func Run(rootDir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	modPath, err := ModulePathOf(rootDir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := ExpandPatterns(rootDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	loader := NewLoader(modPath, rootDir)
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, pkg.MalformedSuppressions()...)
+		for _, a := range analyzers {
+			if a.Scope != nil && pkg.RelPath != "-" && !a.Scope(pkg.RelPath) {
+				continue
+			}
+			pass := NewPass(a, pkg)
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			diags = append(diags, pass.Diagnostics()...)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// ModulePathOf reads the module path from rootDir's go.mod.
+func ModulePathOf(rootDir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(rootDir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", rootDir)
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// ScopePackages builds an Analyzer.Scope function matching an explicit list
+// of module-relative package paths (each entry covers the package itself and
+// everything beneath it).
+func ScopePackages(paths ...string) func(relPath string) bool {
+	return func(rel string) bool {
+		for _, p := range paths {
+			if rel == p || strings.HasPrefix(rel, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}

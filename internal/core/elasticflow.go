@@ -31,7 +31,10 @@ type Options struct {
 	HorizonSlots int
 	// SafetyRescales is the number of rescale overheads subtracted from
 	// each deadline during planning, absorbing the scaling costs the
-	// slot-level model does not see (default 3).
+	// slot-level model does not see (default 5). The margin is empirical,
+	// not a proof: a job that rescales more than this many times can still
+	// erode past it (fuzzing found misses at 3 with five-rescale churn;
+	// see ROADMAP.md "Open items").
 	SafetyRescales float64
 	// Quota, when non-nil, is consulted before finally admitting a job
 	// (§4.4 "malicious users"): returning false rejects the job even when
@@ -60,7 +63,7 @@ func (o Options) withDefaults() Options {
 		}
 	}
 	if o.SafetyRescales == 0 {
-		o.SafetyRescales = 3
+		o.SafetyRescales = 5
 	}
 	return o
 }
@@ -152,15 +155,24 @@ func splitJobs(active []*job.Job) (slo, be []*job.Job) {
 			be = append(be, j)
 		}
 	}
+	// Ordered comparisons instead of float != keep the comparator exact
+	// (an epsilon here would break strict weak ordering); ties fall
+	// through to the ID for determinism.
 	sort.Slice(slo, func(i, k int) bool {
-		if slo[i].Deadline != slo[k].Deadline {
-			return slo[i].Deadline < slo[k].Deadline
+		if slo[i].Deadline < slo[k].Deadline {
+			return true
+		}
+		if slo[i].Deadline > slo[k].Deadline {
+			return false
 		}
 		return slo[i].ID < slo[k].ID
 	})
 	sort.Slice(be, func(i, k int) bool {
-		if be[i].SubmitTime != be[k].SubmitTime {
-			return be[i].SubmitTime < be[k].SubmitTime
+		if be[i].SubmitTime < be[k].SubmitTime {
+			return true
+		}
+		if be[i].SubmitTime > be[k].SubmitTime {
+			return false
 		}
 		return be[i].ID < be[k].ID
 	})

@@ -1,0 +1,63 @@
+package core
+
+import "testing"
+
+// TestEpsilonPinned pins the tolerance itself: admission decisions across the
+// repo assume one nanosecond of simulated time as the indifference threshold,
+// and silently widening (or narrowing) it would change which jobs are
+// admitted at the boundary.
+func TestEpsilonPinned(t *testing.T) {
+	if Epsilon != 1e-9 {
+		t.Fatalf("Epsilon = %g, want exactly 1e-9; changing it alters boundary admission decisions", Epsilon)
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		want bool
+	}{
+		{"identical", 1.5, 1.5, true},
+		{"within tolerance", 1, 1 + 5e-10, true},
+		{"beyond tolerance", 1, 1 + 2e-9, false},
+		{"symmetric", 1 + 5e-10, 1, true},
+		{"negative values", -2, -2 - 5e-10, true},
+		{"clearly different", 1, 2, false},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b); got != c.want {
+			t.Errorf("%s: AlmostEqual(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+	// The motivating case: exact == disagrees with AlmostEqual on values
+	// that are mathematically equal. Variables force runtime float64
+	// arithmetic — as untyped constants, 0.1+0.2 == 0.3 would be folded
+	// exactly at compile time.
+	x, y, z := 0.1, 0.2, 0.3
+	if x+y == z {
+		t.Fatal("0.1+0.2 == 0.3 held exactly at runtime; expected IEEE 754 rounding")
+	}
+	if !AlmostEqual(x+y, z) {
+		t.Fatal("AlmostEqual(0.1+0.2, 0.3) = false, want true")
+	}
+}
+
+func TestAtMost(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		want bool
+	}{
+		{"strictly below", 1, 2, true},
+		{"equal", 2, 2, true},
+		{"above within tolerance", 2 + 5e-10, 2, true},
+		{"above beyond tolerance", 2 + 2e-9, 2, false},
+		{"well above", 3, 2, false},
+	}
+	for _, c := range cases {
+		if got := AtMost(c.a, c.b); got != c.want {
+			t.Errorf("%s: AtMost(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -26,7 +26,7 @@ func LinearFeasible(now float64, jobs []*job.Job, g int) bool {
 			return false
 		}
 		gpuTime += j.RemainingIters() / k
-		if gpuTime > float64(g)*(j.Deadline-now)+1e-9 {
+		if !AtMost(gpuTime, float64(g)*(j.Deadline-now)) {
 			return false
 		}
 	}

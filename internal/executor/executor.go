@@ -24,7 +24,8 @@ type Task struct {
 // Pool executes scheduling decisions on real trainers. Methods are safe for
 // concurrent use.
 type Pool struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	// tasks maps job IDs to their live tasks. guarded by mu
 	tasks map[string]*Task
 }
 

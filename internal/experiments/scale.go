@@ -46,6 +46,7 @@ func Scale(o Options) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
+		//eflint:ignore detlint this experiment measures the harness's own wall-clock cost per decision, not simulated time
 		start := time.Now()
 		res, err := sim.Run(sim.Config{
 			Topology:  topoFor(cfg.gpus),
@@ -54,6 +55,7 @@ func Scale(o Options) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
+		//eflint:ignore detlint wall-clock duration of the simulation run is this experiment's measurement
 		wall := time.Since(start).Seconds()
 		events := res.Rescales
 		if events == 0 {

@@ -47,7 +47,7 @@ type UserQuota struct {
 	WindowSec float64
 
 	mu        sync.Mutex
-	submitted map[string][]float64 // user → admitted submit times
+	submitted map[string][]float64 // user → admitted submit times. guarded by mu
 }
 
 // NewUserQuota creates a quota of maxJobs per windowSec per user.
@@ -55,7 +55,7 @@ func NewUserQuota(maxJobs int, windowSec float64) *UserQuota {
 	return &UserQuota{MaxJobs: maxJobs, WindowSec: windowSec, submitted: make(map[string][]float64)}
 }
 
-func (q *UserQuota) prune(user string, now float64) {
+func (q *UserQuota) pruneLocked(user string, now float64) {
 	times := q.submitted[user]
 	keep := times[:0]
 	for _, t := range times {
@@ -73,7 +73,7 @@ func (q *UserQuota) Allows(j *job.Job) bool {
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	q.prune(j.User, j.SubmitTime)
+	q.pruneLocked(j.User, j.SubmitTime)
 	return len(q.submitted[j.User]) < q.MaxJobs
 }
 
@@ -91,7 +91,7 @@ func (q *UserQuota) Commit(j *job.Job) {
 func (q *UserQuota) Count(user string, now float64) int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	q.prune(user, now)
+	q.pruneLocked(user, now)
 	return len(q.submitted[user])
 }
 
@@ -135,7 +135,7 @@ type Budget struct {
 	Pricing Pricing
 
 	mu      sync.Mutex
-	balance map[string]float64
+	balance map[string]float64 // user → remaining funds. guarded by mu
 }
 
 // NewBudget creates an empty ledger with the given pricing.

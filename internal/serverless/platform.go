@@ -101,21 +101,22 @@ type Options struct {
 // Platform is the running serverless service. All methods are safe for
 // concurrent use.
 type Platform struct {
-	mu       sync.Mutex
-	ef       *core.ElasticFlow
-	cluster  *topology.Cluster
-	est      throughput.Estimator
-	prof     *throughput.Profiler
-	clock    func() time.Time
-	start    time.Time
-	scale    float64
+	mu      sync.Mutex
+	ef      *core.ElasticFlow
+	cluster *topology.Cluster // placement state mutates under mu. guarded by mu
+	est     throughput.Estimator
+	prof    *throughput.Profiler
+	clock   func() time.Time
+	start   time.Time
+	scale   float64
+	// lastTick is the platform time of the latest advance. guarded by mu
 	lastTick float64
 
-	seq       int
-	active    []*job.Job
-	all       map[string]*job.Job
-	completed int
-	dropped   int
+	seq       int                 // job ID counter. guarded by mu
+	active    []*job.Job          // admitted, incomplete jobs. guarded by mu
+	all       map[string]*job.Job // every job ever submitted. guarded by mu
+	completed int                 // guarded by mu
+	dropped   int                 // guarded by mu
 	observer  func(map[string]int)
 }
 
