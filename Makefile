@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race fuzz-smoke ci
+.PHONY: all build test vet lint race fuzz-smoke obs-check ci
 
 all: build test
 
@@ -32,4 +32,11 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzFill -fuzztime=10s ./internal/plan/
 	$(GO) test -run=^$$ -fuzz=FuzzAdmissionControl -fuzztime=10s ./internal/core/
 
-ci: build vet lint race fuzz-smoke
+# obs-check exercises the observability core under the race detector (the
+# bus and registry are the only pieces shared across goroutines by design)
+# and lints it with the repo's analyzers.
+obs-check:
+	$(GO) test -race ./internal/obs/
+	$(GO) run ./cmd/eflint ./internal/obs/
+
+ci: build vet lint race fuzz-smoke obs-check

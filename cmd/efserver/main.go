@@ -10,6 +10,9 @@
 //	curl -X POST localhost:8080/v1/jobs -d '{
 //	  "model": "resnet50", "global_batch": 128,
 //	  "iterations": 100000, "deadline_seconds": 3600}'
+//
+// Observability: GET /metrics serves Prometheus text exposition and
+// GET /debug/events?since=<seq> the structured scheduler event log.
 package main
 
 import (
@@ -43,6 +46,6 @@ func main() {
 			p.Tick()
 		}
 	}()
-	fmt.Printf("efserver: %d GPUs, timescale %.0fx, listening on %s\n", *servers**perServer, *timescale, *addr)
+	fmt.Printf("efserver: %d GPUs, timescale %.0fx, listening on %s (metrics on /metrics, events on /debug/events)\n", *servers**perServer, *timescale, *addr)
 	log.Fatal(http.ListenAndServe(*addr, serverless.Handler(p)))
 }

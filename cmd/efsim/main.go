@@ -5,13 +5,17 @@
 // Usage:
 //
 //	efsim [-trace file.json] [-sched name] [-gpus N] [-jobs N] [-load F] [-seed N] [-v]
+//	      [-events out.json] [-metrics out.prom]
 //
 // Without -trace a synthetic trace is generated from -gpus/-jobs/-load/-seed.
+// -events and -metrics export the run's structured event log (JSON) and the
+// final metric registry (Prometheus text format); "-" writes to stdout.
 // Schedulers: elasticflow, edf, gandiva, tiresias, themis, chronus, pollux,
 // edf+ac, edf+es.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -19,7 +23,9 @@ import (
 	"strings"
 
 	elasticflow "github.com/elasticflow/elasticflow"
+	"github.com/elasticflow/elasticflow/internal/core"
 	"github.com/elasticflow/elasticflow/internal/model"
+	"github.com/elasticflow/elasticflow/internal/obs"
 	"github.com/elasticflow/elasticflow/internal/sim"
 	"github.com/elasticflow/elasticflow/internal/throughput"
 	"github.com/elasticflow/elasticflow/internal/topology"
@@ -37,6 +43,8 @@ func main() {
 	chart := flag.Bool("chart", false, "print an ASCII GPU-utilization chart")
 	jobsCSV := flag.String("jobs-csv", "", "write per-job outcomes as CSV to this file")
 	timelineCSV := flag.String("timeline-csv", "", "write the utilization/efficiency timeline as CSV to this file")
+	eventsOut := flag.String("events", "", "write the structured event log as JSON to this file (\"-\" = stdout)")
+	metricsOut := flag.String("metrics", "", "write final metrics in Prometheus text format to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	var tr trace.Trace
@@ -60,6 +68,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Observability is opt-in: the sink only exists when an export was
+	// requested, so default runs pay nothing. The large ring keeps every
+	// event of a 100-job trace.
+	var sink *obs.Obs
+	if *eventsOut != "" || *metricsOut != "" {
+		sink = obs.New(obs.Options{RingSize: 1 << 20})
+		if tracer, ok := s.(interface{ WithObs(*obs.Obs) *core.ElasticFlow }); ok {
+			tracer.WithObs(sink)
+		}
+	}
 	hw := model.DefaultA100()
 	est := throughput.NewEstimator(hw)
 	prof := throughput.NewProfiler(est, 8, tr.GPUs)
@@ -75,9 +93,24 @@ func main() {
 		Topology:  topology.Config{Servers: servers, GPUsPerServer: 8},
 		Scheduler: s,
 		SampleSec: 600,
+		Obs:       sink,
 	}, jobList, tr.Name)
 	if err != nil {
 		fatal(err)
+	}
+	if *eventsOut != "" {
+		if err := writeOut(*eventsOut, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(sink.Bus.Since(0))
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeOut(*metricsOut, sink.Metrics.WritePrometheus); err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("trace            %s (%d jobs, %d GPUs)\n", res.Trace, len(res.Jobs), tr.GPUs)
@@ -170,6 +203,14 @@ func writeCSV(path string, write func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// writeOut writes to path, with "-" meaning stdout.
+func writeOut(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	return writeCSV(path, write)
 }
 
 func fatal(err error) {

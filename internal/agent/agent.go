@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"github.com/elasticflow/elasticflow/internal/elastic"
+	"github.com/elasticflow/elasticflow/internal/obs"
 )
 
 // TaskSpec describes a training task an agent can materialize locally: the
@@ -110,6 +111,9 @@ type StatusReply struct {
 // follow the net/rpc convention.
 type Agent struct {
 	name string
+	// obs receives accept-loop failures; nil is fine (all emitters are
+	// nil-safe no-ops).
+	obs *obs.Obs
 
 	mu sync.Mutex
 	// tasks maps job IDs to their live training tasks. guarded by mu
@@ -124,6 +128,13 @@ type task struct {
 // NewAgent creates an agent named for diagnostics.
 func NewAgent(name string) *Agent {
 	return &Agent{name: name, tasks: make(map[string]*task)}
+}
+
+// WithObs routes the agent's background errors into o and returns a for
+// chaining.
+func (a *Agent) WithObs(o *obs.Obs) *Agent {
+	a.obs = o
+	return a
 }
 
 // Launch implements the RPC: materialize the task and start (or resume) it.
@@ -233,7 +244,17 @@ func (a *Agent) Listen(addr string) (string, func(), error) {
 	if err != nil {
 		return "", nil, err
 	}
-	//eflint:ignore errlint Serve returns nil on clean listener close; surfacing crash errors from this goroutine needs a logger (ROADMAP)
-	go func() { _ = a.Serve(l) }()
+	go a.serveLoop(l)
 	return l.Addr().String(), func() { _ = l.Close() }, nil
+}
+
+// serveLoop runs Serve and routes its terminal error — which used to be
+// silently dropped — into the observability stack. Serve returns nil on a
+// clean listener close, so anything non-nil is a real accept-loop crash.
+func (a *Agent) serveLoop(l net.Listener) {
+	if err := a.Serve(l); err != nil {
+		a.obs.IncAcceptError()
+		a.obs.EventNow(obs.KindError, "",
+			obs.F("agent", a.name), obs.F("op", "accept"), obs.F("err", err.Error()))
+	}
 }

@@ -1,0 +1,62 @@
+package agent
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/obs"
+)
+
+// failingListener's accept loop dies with a non-ErrClosed error, the case
+// Listen used to swallow.
+type failingListener struct{ err error }
+
+func (l failingListener) Accept() (net.Conn, error) { return nil, l.err }
+func (l failingListener) Close() error              { return nil }
+func (l failingListener) Addr() net.Addr            { return &net.TCPAddr{} }
+
+// TestServeLoopReportsAcceptError: an accept-loop crash increments
+// ef_agent_accept_errors_total and leaves an error event naming the agent.
+func TestServeLoopReportsAcceptError(t *testing.T) {
+	o := obs.NewDefault()
+	a := NewAgent("srv-1").WithObs(o)
+	a.serveLoop(failingListener{err: errors.New("fd exhausted")})
+
+	evs := o.Bus.Since(0)
+	if len(evs) != 1 {
+		t.Fatalf("want 1 event, got %d", len(evs))
+	}
+	if evs[0].Kind != obs.KindError {
+		t.Errorf("kind = %s, want %s", evs[0].Kind, obs.KindError)
+	}
+	if name, _ := evs[0].Field("agent"); name != "srv-1" {
+		t.Errorf("agent = %s, want srv-1", name)
+	}
+	if msg, _ := evs[0].Field("err"); msg != "fd exhausted" {
+		t.Errorf("err = %s", msg)
+	}
+
+	var b strings.Builder
+	if err := o.Metrics.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ef_agent_accept_errors_total 1") {
+		t.Error("accept error not counted")
+	}
+}
+
+// TestServeLoopCleanClose: a clean listener close is not an error — no
+// events, no counter movement, and a nil obs is safe.
+func TestServeLoopCleanClose(t *testing.T) {
+	o := obs.NewDefault()
+	a := NewAgent("srv-2").WithObs(o)
+	a.serveLoop(failingListener{err: net.ErrClosed})
+	if n := len(o.Bus.Since(0)); n != 0 {
+		t.Errorf("clean close published %d events", n)
+	}
+
+	// Without obs wired, the crash path must not panic.
+	NewAgent("srv-3").serveLoop(failingListener{err: errors.New("boom")})
+}

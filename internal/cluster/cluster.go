@@ -64,7 +64,9 @@ func New(opts Options) (*Orchestrator, error) {
 	}
 	for i := 0; i < opts.Platform.Topology.Servers; i++ {
 		name := agentName(i)
-		a := agent.NewAgent(name)
+		// Agents share the platform's obs sink so accept-loop failures
+		// land in the same event log the scheduler writes to.
+		a := agent.NewAgent(name).WithObs(platform.Obs())
 		addr, stop, err := a.Listen("127.0.0.1:0")
 		if err != nil {
 			o.Close()

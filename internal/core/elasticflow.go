@@ -10,10 +10,13 @@ package core
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"github.com/elasticflow/elasticflow/internal/job"
+	"github.com/elasticflow/elasticflow/internal/obs"
 	"github.com/elasticflow/elasticflow/internal/plan"
 	"github.com/elasticflow/elasticflow/internal/sched"
 )
@@ -45,6 +48,16 @@ type Options struct {
 	// plans against G−ReserveGPUs while allocation still uses everything
 	// that is up.
 	ReserveGPUs int
+	// Obs, when non-nil, receives decision traces on its event bus: one
+	// "sched-admit" event per admission verdict explaining why (which
+	// feasibility check failed, the victim whose guarantee would break,
+	// the candidate's minimum satisfactory share) and one "sched-alloc"
+	// event per Schedule call summarizing the allocation round (spare-GPU
+	// adoptions and their winners, demoted jobs, slot-0 usage). Tracing is
+	// purely additive — decisions never read the sink back — and metric
+	// counters stay the engine layers' (sim, serverless) responsibility so
+	// series are not double-counted.
+	Obs *obs.Obs
 }
 
 func (o Options) withDefaults() Options {
@@ -89,6 +102,14 @@ func New(opts Options) *ElasticFlow {
 
 // NewDefault returns a scheduler with the paper's default configuration.
 func NewDefault() *ElasticFlow { return New(Options{PowerOfTwo: true}) }
+
+// WithObs injects the observability sink after construction (the serverless
+// platform uses this to wire the default scheduler to its own Obs) and
+// returns e for chaining.
+func (e *ElasticFlow) WithObs(o *obs.Obs) *ElasticFlow {
+	e.opts.Obs = o
+	return e
+}
 
 // Name implements the scheduler interface used by the simulator.
 func (e *ElasticFlow) Name() string { return "elasticflow" }
@@ -189,15 +210,51 @@ func splitJobs(active []*job.Job) (slo, be []*job.Job) {
 // rejects cand only when cand itself cannot be satisfied or when admitting
 // cand turns a currently satisfiable job unsatisfiable.
 func (e *ElasticFlow) Admit(now float64, cand *job.Job, active []*job.Job, g int) bool {
+	var v admitVerdict
 	if cand.Class != job.SLO {
-		return e.quotaOK(cand)
+		if e.quotaOK(cand) {
+			v = admitVerdict{ok: true, reason: "no-guarantee-needed"}
+		} else {
+			v = admitVerdict{reason: "quota-denied"}
+		}
+	} else {
+		v = e.admitExplained(now, cand, active, g)
+		if v.ok && !e.quotaOK(cand) {
+			v = admitVerdict{reason: "quota-denied"}
+		}
 	}
-	return e.admissible(now, cand, active, g) && e.quotaOK(cand)
+	e.traceAdmit(now, cand, v)
+	return v.ok
 }
 
-// admissible is Admit without the operator-policy hook: the pure
-// feasibility decision of Algorithm 1.
+// admitVerdict is the explained outcome of one Algorithm 1 run: whether the
+// candidate is admitted and, when not, which check failed.
+type admitVerdict struct {
+	ok bool
+	// reason is "ok" (deadline guaranteed), "no-guarantee-needed"
+	// (best-effort/soft-deadline, always admitted), "candidate-infeasible"
+	// (the candidate's own deadline cannot be met by progressive filling
+	// after every earlier-deadline job takes its share),
+	// "breaks-guarantee" (admitting would turn a currently satisfiable
+	// job's deadline unsatisfiable), or "quota-denied" (operator policy).
+	reason string
+	// victim is the job whose guarantee would break, for
+	// "breaks-guarantee".
+	victim string
+	// mss is the candidate's minimum satisfactory share fill, valid when
+	// the candidate itself was feasible.
+	mss plan.Allocation
+}
+
+// admissible is Admit without the operator-policy hook or tracing: the pure
+// feasibility decision of Algorithm 1 (EarliestDeadline probes through it).
 func (e *ElasticFlow) admissible(now float64, cand *job.Job, active []*job.Job, g int) bool {
+	return e.admitExplained(now, cand, active, g).ok
+}
+
+// admitExplained runs Algorithm 1 and reports which check decided the
+// verdict.
+func (e *ElasticFlow) admitExplained(now float64, cand *job.Job, active []*job.Job, g int) admitVerdict {
 	// Admission plans against the failure reserve so that guarantees
 	// survive losing that much capacity (§4.4).
 	gAdmit := g - e.opts.ReserveGPUs
@@ -205,18 +262,44 @@ func (e *ElasticFlow) admissible(now float64, cand *job.Job, active []*job.Job, 
 		gAdmit = 1
 	}
 	// Pass 1: which active jobs are satisfiable today?
-	okWithout := e.feasibleSet(now, active, nil, gAdmit)
+	okWithout, _ := e.feasibleSet(now, active, nil, gAdmit)
 	// Pass 2: and with the candidate added?
-	okWith := e.feasibleSet(now, active, cand, gAdmit)
+	okWith, candFill := e.feasibleSet(now, active, cand, gAdmit)
 	if !okWith[cand.ID] {
-		return false
+		return admitVerdict{reason: "candidate-infeasible", mss: candFill}
 	}
-	for id, was := range okWithout {
-		if was && !okWith[id] {
-			return false
+	// Deterministic victim: report the first broken guarantee in deadline
+	// order rather than map order.
+	slo, _ := splitJobs(active)
+	for _, j := range slo {
+		if okWithout[j.ID] && !okWith[j.ID] {
+			return admitVerdict{reason: "breaks-guarantee", victim: j.ID, mss: candFill}
 		}
 	}
-	return true
+	return admitVerdict{ok: true, reason: "ok", mss: candFill}
+}
+
+// traceAdmit publishes the admission decision trace.
+func (e *ElasticFlow) traceAdmit(now float64, cand *job.Job, v admitVerdict) {
+	o := e.opts.Obs
+	if o == nil {
+		return
+	}
+	verdict := "drop"
+	if v.ok {
+		verdict = "admit"
+	}
+	fields := []obs.Field{obs.F("verdict", verdict), obs.F("reason", v.reason)}
+	if v.victim != "" {
+		fields = append(fields, obs.F("victim", v.victim))
+	}
+	if len(v.mss.Levels) > 0 {
+		fields = append(fields,
+			obs.F("mss_gpus", v.mss.GPUsAt(0)),
+			obs.F("mss_satisfied", v.mss.Satisfied),
+			obs.F("mss_finish_slot", v.mss.FinishSlot))
+	}
+	o.Event(now, obs.KindSchedAdmit, cand.ID, fields...)
 }
 
 // EarliestDeadline returns the soonest deadline admission control could
@@ -251,9 +334,10 @@ func (e *ElasticFlow) EarliestDeadline(now float64, cand *job.Job, active []*job
 
 // feasibleSet runs the deadline-ordered progressive filling over the SLO
 // jobs of active (plus cand when non-nil) and reports which job IDs end up
-// satisfied. Unsatisfiable jobs do not reserve capacity, mirroring their
-// demotion to best-effort in Schedule.
-func (e *ElasticFlow) feasibleSet(now float64, active []*job.Job, cand *job.Job, g int) map[string]bool {
+// satisfied, along with the candidate's own fill — its minimum satisfactory
+// share when feasible. Unsatisfiable jobs do not reserve capacity,
+// mirroring their demotion to best-effort in Schedule.
+func (e *ElasticFlow) feasibleSet(now float64, active []*job.Job, cand *job.Job, g int) (map[string]bool, plan.Allocation) {
 	jobs := active
 	if cand != nil {
 		jobs = append(append([]*job.Job{}, active...), cand)
@@ -261,10 +345,14 @@ func (e *ElasticFlow) feasibleSet(now float64, active []*job.Job, cand *job.Job,
 	slo, _ := splitJobs(jobs)
 	f := plan.NewFiller(g, e.opts.SlotSec, e.opts.PowerOfTwo)
 	out := make(map[string]bool, len(slo))
+	var candFill plan.Allocation
 	for _, j := range slo {
 		d := e.demand(j, now)
 		a := f.Fill(d)
 		out[j.ID] = a.Satisfied
+		if cand != nil && j.ID == cand.ID {
+			candFill = a
+		}
 		switch {
 		case a.Satisfied:
 			f.Commit(a)
@@ -275,7 +363,7 @@ func (e *ElasticFlow) feasibleSet(now float64, active []*job.Job, cand *job.Job,
 			f.Commit(f.FillEarliest(d, e.opts.HorizonSlots))
 		}
 	}
-	return out
+	return out, candFill
 }
 
 func (e *ElasticFlow) quotaOK(j *job.Job) bool {
@@ -307,6 +395,8 @@ type prioJob struct {
 	alt        plan.Allocation // probe: one level more at slot 0
 	nextStep   int             // slot-0 worker count of the probe
 	priority   float64         // GPU time saved by the probe
+	won        int             // spare-GPU rounds won (adopted probes)
+	late       bool            // admitted job racing its expired deadline
 	index      int
 }
 
@@ -401,7 +491,7 @@ func (e *ElasticFlow) probe(f *plan.Filler, p *prioJob) bool {
 // allocation (§4.4). The returned Decision holds each job's slot-0 worker
 // count and a wake-up time at the next planned allocation change.
 func (e *ElasticFlow) Schedule(now float64, active []*job.Job, g int) sched.Decision {
-	entries := e.allocate(now, active, g)
+	entries, adoptions := e.allocate(now, active, g)
 	// Emit slot-0 allocations and the earliest planned change.
 	dec := sched.Decision{Alloc: make(map[string]int, len(entries))}
 	wake := math.Inf(1)
@@ -416,7 +506,44 @@ func (e *ElasticFlow) Schedule(now float64, active []*job.Job, g int) sched.Deci
 	if !math.IsInf(wake, 1) {
 		dec.Wake = wake
 	}
+	e.traceSchedule(now, g, entries, adoptions)
 	return dec
+}
+
+// traceSchedule publishes one allocation-round summary: how Algorithm 2
+// spent the spare capacity on top of the minimum satisfactory shares.
+func (e *ElasticFlow) traceSchedule(now float64, g int, entries []*prioJob, adoptions int) {
+	o := e.opts.Obs
+	if o == nil || len(entries) == 0 {
+		return
+	}
+	used, nBE, nLate := 0, 0, 0
+	var winners []string
+	for _, p := range entries {
+		used += p.cur.GPUsAt(0)
+		if p.bestEffort {
+			nBE++
+		}
+		if p.late {
+			nLate++
+		}
+		if p.won > 0 {
+			winners = append(winners, fmt.Sprintf("%s:%d", p.j.ID, p.won))
+		}
+	}
+	fields := []obs.Field{
+		obs.F("jobs", len(entries)),
+		obs.F("slo", len(entries)-nBE),
+		obs.F("best_effort", nBE),
+		obs.F("late", nLate),
+		obs.F("spare_rounds", adoptions),
+		obs.F("used_gpus", used),
+		obs.F("capacity", g),
+	}
+	if len(winners) > 0 {
+		fields = append(fields, obs.F("winners", strings.Join(winners, ",")))
+	}
+	o.Event(now, obs.KindSchedAlloc, "", fields...)
 }
 
 // Plans returns the full allocation plan Algorithm 2 computes for each
@@ -425,7 +552,7 @@ func (e *ElasticFlow) Schedule(now float64, active []*job.Job, g int) sched.Deci
 // covers [now + t·SlotSec, now + (t+1)·SlotSec). The platform exposes this
 // for observability; Schedule's decision is exactly slot 0 of these plans.
 func (e *ElasticFlow) Plans(now float64, active []*job.Job, g int) map[string]plan.Allocation {
-	entries := e.allocate(now, active, g)
+	entries, _ := e.allocate(now, active, g)
 	out := make(map[string]plan.Allocation, len(entries))
 	for _, p := range entries {
 		out[p.j.ID] = p.cur
@@ -433,8 +560,9 @@ func (e *ElasticFlow) Plans(now float64, active []*job.Job, g int) map[string]pl
 	return out
 }
 
-// allocate runs Algorithm 2 and returns the final per-job entries.
-func (e *ElasticFlow) allocate(now float64, active []*job.Job, g int) []*prioJob {
+// allocate runs Algorithm 2 and returns the final per-job entries plus the
+// number of spare-GPU rounds the greedy loop adopted.
+func (e *ElasticFlow) allocate(now float64, active []*job.Job, g int) ([]*prioJob, int) {
 	slo, be := splitJobs(active)
 	f := plan.NewFiller(g, e.opts.SlotSec, e.opts.PowerOfTwo)
 
@@ -454,7 +582,7 @@ func (e *ElasticFlow) allocate(now float64, active []*job.Job, g int) []*prioJob
 		if !a.Satisfied {
 			a = f.FillEarliest(d, e.opts.HorizonSlots)
 			f.Commit(a)
-			late = append(late, &prioJob{j: j, d: d, cur: a})
+			late = append(late, &prioJob{j: j, d: d, cur: a, late: true})
 			continue
 		}
 		f.Commit(a)
@@ -483,6 +611,7 @@ func (e *ElasticFlow) allocate(now float64, active []*job.Job, g int) []*prioJob
 
 	// Lines 12–24: greedy adoption with lazy re-evaluation. Each adoption
 	// strictly increases committed slot-0 usage, bounding the loop.
+	adoptions := 0
 	for q.Len() > 0 && f.FreeAt(0) > 0 {
 		p := heap.Pop(q).(*prioJob)
 		// Re-validate against current usage (other adoptions may have
@@ -500,6 +629,8 @@ func (e *ElasticFlow) allocate(now float64, active []*job.Job, g int) []*prioJob
 		}
 		// Adopt the probe.
 		p.cur = p.alt
+		p.won++
+		adoptions++
 		f.Commit(p.cur)
 		// Compute the next probe for this job.
 		f.Uncommit(p.cur)
@@ -509,7 +640,7 @@ func (e *ElasticFlow) allocate(now float64, active []*job.Job, g int) []*prioJob
 			heap.Push(q, p)
 		}
 	}
-	return entries
+	return entries, adoptions
 }
 
 func maxInt(a, b int) int {

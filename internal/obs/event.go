@@ -1,0 +1,94 @@
+// Package obs is the deterministic observability core every layer of the
+// platform emits into and every frontend reads out of: a structured event
+// bus (bounded ring buffer plus optional subscriber channels), a metrics
+// registry rendered in Prometheus text exposition format, and the catalog
+// of scheduler-decision traces (admission verdicts with reasons, allocation
+// round summaries, rescale/migration accounting).
+//
+// Determinism rules (see DESIGN.md §8): events carry domain time supplied
+// by the publisher — the simulator stamps simulated seconds, the live
+// platform its platform clock — and obs itself never reads a wall clock
+// except through the injected Options.Clock, so simulator replays stay
+// bit-identical and detlint stays clean. Emission is purely additive: no
+// decision path may read the bus or the registry back.
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event kinds. The sim/platform job-lifecycle kinds mirror the simulator's
+// historical event log; the sched-* kinds are scheduler decision traces and
+// the error kind carries routed failures (accept loops, encode errors).
+const (
+	KindArrival    = "arrival"
+	KindAdmit      = "admit"
+	KindDrop       = "drop"
+	KindComplete   = "complete"
+	KindRescale    = "rescale"
+	KindMigrate    = "migrate"
+	KindFailure    = "failure"
+	KindRecovery   = "recovery"
+	KindCancel     = "cancel"
+	KindError      = "error"
+	KindSchedAdmit = "sched-admit"
+	KindSchedAlloc = "sched-alloc"
+)
+
+// Field is one ordered key/value pair of an event. Values are
+// pre-formatted strings so rendering is deterministic and allocation-free
+// at read time.
+type Field struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// F builds a field from any value via fmt.Sprint (deterministic for the
+// bool/int/float/string/Stringer values the emitters use).
+func F(key string, value interface{}) Field {
+	return Field{Key: key, Value: fmt.Sprint(value)}
+}
+
+// Event is one structured observability record.
+type Event struct {
+	// Seq is the bus-assigned sequence number, strictly increasing from 1.
+	Seq uint64 `json:"seq"`
+	// Time is domain time in seconds: simulated time in the simulator,
+	// platform seconds on the live platform.
+	Time float64 `json:"time"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// JobID names the job the event concerns, when any.
+	JobID string `json:"job_id,omitempty"`
+	// Fields carry kind-specific detail in emission order.
+	Fields []Field `json:"fields,omitempty"`
+}
+
+// Field returns the value of the named field.
+func (e Event) Field(key string) (string, bool) {
+	for _, f := range e.Fields {
+		if f.Key == key {
+			return f.Value, true
+		}
+	}
+	return "", false
+}
+
+// Detail renders the fields as "k=v k2=v2" — the human-readable form the
+// simulator's legacy Result.Events detail string is built from.
+func (e Event) Detail() string {
+	if len(e.Fields) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, f := range e.Fields {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(f.Key)
+		b.WriteByte('=')
+		b.WriteString(f.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,212 @@
+package obs
+
+import "time"
+
+// Options configures an Obs.
+type Options struct {
+	// RingSize bounds the event bus (default DefaultRingSize).
+	RingSize int
+	// Clock is the wall-time source used only for decision-latency timers
+	// and EventNow stamps (default time.Now). Tests and deterministic
+	// replays inject a fake; simulated-time emitters never consult it.
+	Clock func() time.Time
+}
+
+// Obs bundles the event bus, the metrics registry, and the standard metric
+// catalog. All emitter methods are safe on a nil *Obs (they do nothing), so
+// wiring sites need no guards — an unwired component simply observes into
+// the void.
+type Obs struct {
+	// Bus is the structured event log.
+	Bus *Bus
+	// Metrics is the registry behind GET /metrics.
+	Metrics *Registry
+
+	clock func() time.Time
+	start time.Time
+
+	admissions   *CounterVec   // ef_admissions_total{verdict}
+	completions  *CounterVec   // ef_completions_total{met}
+	rescales     *Counter      // ef_rescales_total
+	migrations   *Counter      // ef_migrations_total
+	errors       *CounterVec   // ef_errors_total{source}
+	encodeErrors *Counter      // ef_http_encode_errors_total
+	acceptErrors *Counter      // ef_agent_accept_errors_total
+	usedGPUs     *Gauge        // ef_used_gpus
+	efficiency   *Gauge        // ef_cluster_efficiency
+	decisionSec  *HistogramVec // ef_sched_decision_seconds{op}
+}
+
+// DecisionBuckets are the fixed upper bounds of ef_sched_decision_seconds:
+// 10µs up to 1s, roughly logarithmic.
+var DecisionBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1,
+}
+
+// New creates an Obs with the standard metric catalog pre-registered, so
+// every series family renders on /metrics from the first scrape.
+func New(opts Options) *Obs {
+	clock := opts.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	m := NewRegistry()
+	o := &Obs{
+		Bus:     NewBus(opts.RingSize),
+		Metrics: m,
+		clock:   clock,
+		start:   clock(),
+
+		admissions:   m.CounterVec("ef_admissions_total", "Admission decisions by verdict.", "verdict"),
+		completions:  m.CounterVec("ef_completions_total", "Job completions by deadline outcome.", "met"),
+		rescales:     m.Counter("ef_rescales_total", "Elastic rescale events (checkpoint/restore freezes charged)."),
+		migrations:   m.Counter("ef_migrations_total", "Cross-server job migrations during defragmentation."),
+		errors:       m.CounterVec("ef_errors_total", "Errors routed into the observability layer, by source.", "source"),
+		encodeErrors: m.Counter("ef_http_encode_errors_total", "HTTP responses whose JSON encoding failed mid-write."),
+		acceptErrors: m.Counter("ef_agent_accept_errors_total", "Agent RPC accept-loop terminal errors."),
+		usedGPUs:     m.Gauge("ef_used_gpus", "GPUs currently allocated to running jobs."),
+		efficiency:   m.Gauge("ef_cluster_efficiency", "Cluster efficiency per Eq. 8, last sample."),
+		decisionSec:  m.HistogramVec("ef_sched_decision_seconds", "Scheduler decision latency by operation.", DecisionBuckets, "op"),
+	}
+	// Seed the fixed-verdict series so a scrape before the first decision
+	// still shows the catalog.
+	o.admissions.With("admit")
+	o.admissions.With("drop")
+	return o
+}
+
+// NewDefault creates an Obs with default options.
+func NewDefault() *Obs { return New(Options{}) }
+
+// Now returns seconds since the Obs was created per the injected clock —
+// the domain time live (non-simulated) emitters stamp events with.
+func (o *Obs) Now() float64 {
+	if o == nil {
+		return 0
+	}
+	return o.clock().Sub(o.start).Seconds()
+}
+
+// Publish forwards a fully formed event to the bus.
+func (o *Obs) Publish(ev Event) {
+	if o == nil {
+		return
+	}
+	o.Bus.Publish(ev)
+}
+
+// Event publishes an event stamped with the given domain time.
+func (o *Obs) Event(t float64, kind, jobID string, fields ...Field) {
+	if o == nil {
+		return
+	}
+	o.Bus.Publish(Event{Time: t, Kind: kind, JobID: jobID, Fields: fields})
+}
+
+// EventNow publishes an event stamped with the injected clock — for live
+// components (agents, HTTP handlers) with no domain clock of their own.
+func (o *Obs) EventNow(kind, jobID string, fields ...Field) {
+	if o == nil {
+		return
+	}
+	o.Event(o.Now(), kind, jobID, fields...)
+}
+
+// Timer starts a decision-latency measurement; the returned function stops
+// it and returns elapsed seconds. On a nil Obs it returns a zero stopwatch.
+func (o *Obs) Timer() func() float64 {
+	if o == nil {
+		return func() float64 { return 0 }
+	}
+	t0 := o.clock()
+	return func() float64 { return o.clock().Sub(t0).Seconds() }
+}
+
+// ObserveDecision records one scheduler decision's latency under the given
+// operation label ("admit" or "allocate").
+func (o *Obs) ObserveDecision(op string, sec float64) {
+	if o == nil {
+		return
+	}
+	o.decisionSec.With(op).Observe(sec)
+}
+
+// IncAdmission counts one admission decision ("admit" or "drop").
+func (o *Obs) IncAdmission(verdict string) {
+	if o == nil {
+		return
+	}
+	o.admissions.With(verdict).Inc()
+}
+
+// IncCompletion counts one job completion by deadline outcome.
+func (o *Obs) IncCompletion(met bool) {
+	if o == nil {
+		return
+	}
+	if met {
+		o.completions.With("true").Inc()
+	} else {
+		o.completions.With("false").Inc()
+	}
+}
+
+// IncRescale counts one elastic rescale event.
+func (o *Obs) IncRescale() {
+	if o == nil {
+		return
+	}
+	o.rescales.Inc()
+}
+
+// IncMigration counts one defragmentation migration.
+func (o *Obs) IncMigration() {
+	if o == nil {
+		return
+	}
+	o.migrations.Inc()
+}
+
+// IncError counts one routed error by source (e.g. "agent-accept",
+// "http-encode") in ef_errors_total.
+func (o *Obs) IncError(source string) {
+	if o == nil {
+		return
+	}
+	o.errors.With(source).Inc()
+}
+
+// IncEncodeError counts one failed HTTP JSON encode.
+func (o *Obs) IncEncodeError() {
+	if o == nil {
+		return
+	}
+	o.encodeErrors.Inc()
+	o.IncError("http-encode")
+}
+
+// IncAcceptError counts one agent accept-loop terminal error.
+func (o *Obs) IncAcceptError() {
+	if o == nil {
+		return
+	}
+	o.acceptErrors.Inc()
+	o.IncError("agent-accept")
+}
+
+// SetUsedGPUs records the current allocated-GPU level.
+func (o *Obs) SetUsedGPUs(n int) {
+	if o == nil {
+		return
+	}
+	o.usedGPUs.Set(float64(n))
+}
+
+// SetClusterEfficiency records the latest Eq. 8 sample.
+func (o *Obs) SetClusterEfficiency(v float64) {
+	if o == nil {
+		return
+	}
+	o.efficiency.Set(v)
+}

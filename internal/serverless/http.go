@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"strings"
+
+	"github.com/elasticflow/elasticflow/internal/obs"
 )
 
 // Handler returns the HTTP control plane for the platform:
@@ -15,22 +18,25 @@ import (
 //	DELETE /v1/jobs/{id}   cancel a job
 //	GET    /v1/cluster     cluster summary
 //	GET    /v1/plan        planned future allocations (Algorithm 2 output)
+//	GET    /metrics        Prometheus text exposition of the obs registry
+//	GET    /debug/events   structured event log (?since=<seq> for the tail)
 //
 // It stands in for the prototype's gRPC control messages (§5) using only
 // the standard library.
 func Handler(p *Platform) http.Handler {
+	o := p.Obs()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodPost:
 			var req SubmitRequest
 			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-				writeError(w, http.StatusBadRequest, err)
+				writeError(o, w, http.StatusBadRequest, err)
 				return
 			}
 			st, err := p.Submit(req)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, err)
+				writeError(o, w, http.StatusBadRequest, err)
 				return
 			}
 			code := http.StatusCreated
@@ -39,64 +45,112 @@ func Handler(p *Platform) http.Handler {
 				// record exists for inspection but will not run.
 				code = http.StatusConflict
 			}
-			writeJSON(w, code, st)
+			writeJSON(o, w, code, st)
 		case http.MethodGet:
-			writeJSON(w, http.StatusOK, p.List())
+			writeJSON(o, w, http.StatusOK, p.List())
 		default:
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+			writeError(o, w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
 		}
 	})
 	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
 		id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 		if id == "" {
-			writeError(w, http.StatusBadRequest, errors.New("missing job id"))
+			writeError(o, w, http.StatusBadRequest, errors.New("missing job id"))
 			return
 		}
 		switch r.Method {
 		case http.MethodGet:
 			st, err := p.Get(id)
 			if err != nil {
-				writeError(w, http.StatusNotFound, err)
+				writeError(o, w, http.StatusNotFound, err)
 				return
 			}
-			writeJSON(w, http.StatusOK, st)
+			writeJSON(o, w, http.StatusOK, st)
 		case http.MethodDelete:
 			if err := p.Cancel(id); err != nil {
-				writeError(w, http.StatusNotFound, err)
+				writeError(o, w, http.StatusNotFound, err)
 				return
 			}
 			w.WriteHeader(http.StatusNoContent)
 		default:
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or DELETE"))
+			writeError(o, w, http.StatusMethodNotAllowed, errors.New("use GET or DELETE"))
 		}
 	})
 	mux.HandleFunc("/v1/plan", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+			writeError(o, w, http.StatusMethodNotAllowed, errors.New("use GET"))
 			return
 		}
-		writeJSON(w, http.StatusOK, p.Plans())
+		writeJSON(o, w, http.StatusOK, p.Plans())
 	})
 	mux.HandleFunc("/v1/cluster", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+			writeError(o, w, http.StatusMethodNotAllowed, errors.New("use GET"))
 			return
 		}
-		writeJSON(w, http.StatusOK, p.Cluster())
+		writeJSON(o, w, http.StatusOK, p.Cluster())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(o, w, http.StatusMethodNotAllowed, errors.New("use GET"))
+			return
+		}
+		// Refresh platform-time-derived state so gauges are current even
+		// between control-plane calls.
+		p.Tick()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := o.Metrics.WritePrometheus(w); err != nil {
+			o.IncEncodeError()
+			o.EventNow(obs.KindError, "", obs.F("op", "metrics-write"), obs.F("err", err.Error()))
+		}
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(o, w, http.StatusMethodNotAllowed, errors.New("use GET"))
+			return
+		}
+		var since uint64
+		if s := r.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				writeError(o, w, http.StatusBadRequest, errors.New("since must be a sequence number"))
+				return
+			}
+			since = v
+		}
+		writeJSON(o, w, http.StatusOK, EventsPage{
+			Events: o.Bus.Since(since + 1),
+			Next:   o.Bus.LastSeq(),
+		})
 	})
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+// EventsPage is the GET /debug/events response: the retained events after
+// the requested sequence number, and the cursor to pass as ?since= on the
+// next poll.
+type EventsPage struct {
+	Events []obs.Event `json:"events"`
+	Next   uint64      `json:"next"`
+}
+
+// writeJSON encodes v onto w. An encode failure mid-body cannot be
+// reported to the client anymore (the status line is gone), so it is
+// counted in ef_http_encode_errors_total and logged as one event instead
+// of being silently dropped.
+func writeJSON(o *obs.Obs, w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		o.IncEncodeError()
+		o.EventNow(obs.KindError, "", obs.F("op", "http-encode"), obs.F("err", err.Error()))
+	}
 }
 
 type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorBody{Error: err.Error()})
+func writeError(o *obs.Obs, w http.ResponseWriter, code int, err error) {
+	writeJSON(o, w, code, errorBody{Error: err.Error()})
 }

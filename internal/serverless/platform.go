@@ -16,6 +16,7 @@ import (
 	"github.com/elasticflow/elasticflow/internal/core"
 	"github.com/elasticflow/elasticflow/internal/job"
 	"github.com/elasticflow/elasticflow/internal/model"
+	"github.com/elasticflow/elasticflow/internal/obs"
 	"github.com/elasticflow/elasticflow/internal/throughput"
 	"github.com/elasticflow/elasticflow/internal/topology"
 )
@@ -96,6 +97,12 @@ type Options struct {
 	// Fig. 1. It is invoked with the platform lock held; observers must
 	// not call back into the platform.
 	Observer func(alloc map[string]int)
+	// Obs is the observability sink (event bus + metrics registry) behind
+	// GET /metrics and GET /debug/events. Nil creates a fresh one sharing
+	// the platform's Clock. When the platform builds its own default
+	// scheduler it wires this sink into it for decision tracing; a caller
+	// supplying Scheduler wires core.Options.Obs (or WithObs) themselves.
+	Obs *obs.Obs
 }
 
 // Platform is the running serverless service. All methods are safe for
@@ -118,6 +125,7 @@ type Platform struct {
 	completed int                 // guarded by mu
 	dropped   int                 // guarded by mu
 	observer  func(map[string]int)
+	obs       *obs.Obs
 }
 
 // NewPlatform creates a platform over a fresh virtual cluster.
@@ -133,13 +141,17 @@ func NewPlatform(opts Options) (*Platform, error) {
 	if opts.Hardware != nil {
 		hw = *opts.Hardware
 	}
-	ef := opts.Scheduler
-	if ef == nil {
-		ef = core.NewDefault()
-	}
 	clock := opts.Clock
 	if clock == nil {
 		clock = time.Now
+	}
+	o := opts.Obs
+	if o == nil {
+		o = obs.New(obs.Options{Clock: clock})
+	}
+	ef := opts.Scheduler
+	if ef == nil {
+		ef = core.NewDefault().WithObs(o)
 	}
 	scale := opts.TimeScale
 	if scale <= 0 {
@@ -148,6 +160,7 @@ func NewPlatform(opts Options) (*Platform, error) {
 	est := throughput.NewEstimator(hw)
 	return &Platform{
 		observer: opts.Observer,
+		obs:      o,
 		ef:       ef,
 		cluster:  cluster,
 		est:      est,
@@ -163,6 +176,10 @@ func NewPlatform(opts Options) (*Platform, error) {
 func (p *Platform) Now() float64 {
 	return p.clock().Sub(p.start).Seconds() * p.scale
 }
+
+// Obs returns the platform's observability sink (never nil); the HTTP
+// handler serves its registry on /metrics and its bus on /debug/events.
+func (p *Platform) Obs() *obs.Obs { return p.obs }
 
 // Submit profiles, validates and admits a job (§3.1). The returned status
 // reports whether the job was admitted or dropped.
@@ -216,9 +233,15 @@ func (p *Platform) Submit(req SubmitRequest) (JobStatus, error) {
 		return JobStatus{}, err
 	}
 	p.all[j.ID] = j
-	if p.ef.Admit(now, j, p.active, p.cluster.TotalGPUs()) {
+	stop := p.obs.Timer()
+	admitted := p.ef.Admit(now, j, p.active, p.cluster.TotalGPUs())
+	p.obs.ObserveDecision("admit", stop())
+	if admitted {
 		j.State = job.Admitted
 		p.active = append(p.active, j)
+		p.obs.Event(now, obs.KindAdmit, j.ID,
+			obs.F("model", j.Model.Name), obs.F("class", j.Class.String()))
+		p.obs.IncAdmission("admit")
 		p.rescheduleLocked(now)
 	} else {
 		j.State = job.Dropped
@@ -227,6 +250,10 @@ func (p *Platform) Submit(req SubmitRequest) (JobStatus, error) {
 		if dl, ok := p.ef.EarliestDeadline(now, j, p.active, p.cluster.TotalGPUs()); ok {
 			st.EarliestFeasibleSec = dl - now
 		}
+		p.obs.Event(now, obs.KindDrop, j.ID,
+			obs.F("model", j.Model.Name), obs.F("reason", "admission control"),
+			obs.F("earliest_feasible_sec", st.EarliestFeasibleSec))
+		p.obs.IncAdmission("drop")
 		return st, nil
 	}
 	return p.statusLocked(j), nil
@@ -274,6 +301,7 @@ func (p *Platform) Cancel(id string) error {
 			}
 		}
 		j.State = job.Dropped
+		p.obs.Event(p.lastTick, obs.KindCancel, id)
 		p.rescheduleLocked(p.lastTick)
 	}
 	return nil
@@ -367,6 +395,9 @@ func (p *Platform) advanceLocked() {
 			}
 		}
 		p.completed++
+		met := j.MetDeadline()
+		p.obs.Event(now, obs.KindComplete, j.ID, obs.F("met", met))
+		p.obs.IncCompletion(met)
 		changed = true
 	}
 	p.active = kept
@@ -378,7 +409,9 @@ func (p *Platform) advanceLocked() {
 
 // rescheduleLocked applies a fresh scheduling decision.
 func (p *Platform) rescheduleLocked(now float64) {
+	stop := p.obs.Timer()
 	dec := p.ef.Schedule(now, p.active, p.cluster.TotalGPUs())
+	p.obs.ObserveDecision("allocate", stop())
 	// Shrink/release first, then grow (buddy-friendly ordering).
 	for _, j := range p.active {
 		if ng := dec.Alloc[j.ID]; ng != j.GPUs {
@@ -392,18 +425,26 @@ func (p *Platform) rescheduleLocked(now float64) {
 	ordered := append([]*job.Job{}, p.active...)
 	sort.Slice(ordered, func(i, k int) bool { return dec.Alloc[ordered[i].ID] > dec.Alloc[ordered[k].ID] })
 	defer p.notifyLocked()
+	defer p.gaugesLocked()
 	for _, j := range ordered {
 		ng := dec.Alloc[j.ID]
 		if ng == j.GPUs {
 			continue
 		}
 		if ng > 0 {
-			if _, _, err := p.cluster.AllocateWithMigration(j.ID, ng); err != nil {
+			_, migs, err := p.cluster.AllocateWithMigration(j.ID, ng)
+			if err != nil {
 				panic(err)
+			}
+			for _, m := range migs {
+				p.obs.Event(now, obs.KindMigrate, m.JobID, obs.F("from", m.From), obs.F("to", m.To))
+				p.obs.IncMigration()
 			}
 			started := j.GPUs > 0 || j.DoneIters > 0
 			if started {
 				j.FrozenUntil = now + j.RescaleOverheadSec
+				p.obs.Event(now, obs.KindRescale, j.ID, obs.F("gpus", ng))
+				p.obs.IncRescale()
 			}
 			j.State = job.Running
 		} else {
@@ -411,6 +452,32 @@ func (p *Platform) rescheduleLocked(now float64) {
 		}
 		j.GPUs = ng
 	}
+}
+
+// gaugesLocked refreshes the utilization gauges after a scheduling pass:
+// allocated GPUs and Eq. 8 cluster efficiency (each running job's
+// throughput normalized by its single-GPU throughput, summed over the
+// cluster).
+func (p *Platform) gaugesLocked() {
+	used := 0
+	eff := 0.0
+	for _, j := range p.active {
+		if j.GPUs <= 0 {
+			continue
+		}
+		used += j.GPUs
+		t1 := j.Curve.At(1)
+		if t1 <= 0 {
+			if minW := j.Curve.MinWorkers(); minW > 0 {
+				t1 = j.Curve.At(minW) / float64(minW)
+			}
+		}
+		if t1 > 0 {
+			eff += j.Throughput(j.GPUs) / t1
+		}
+	}
+	p.obs.SetUsedGPUs(used)
+	p.obs.SetClusterEfficiency(eff / float64(p.cluster.TotalGPUs()))
 }
 
 // Allocations returns the current worker-count snapshot per active job —

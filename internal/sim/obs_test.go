@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/elasticflow/elasticflow/internal/core"
+	"github.com/elasticflow/elasticflow/internal/job"
+	"github.com/elasticflow/elasticflow/internal/obs"
+)
+
+// obsTrace builds a deterministic little workload: a mix of feasible jobs,
+// a hopeless one (dropped at admission), and enough contention to force
+// rescales.
+func obsTrace() []*job.Job {
+	jobs := []*job.Job{
+		simpleJob("a", 200, 0, 400),
+		simpleJob("b", 200, 10, 500),
+		simpleJob("c", 150, 20, 600),
+		simpleJob("impossible", 1e7, 30, 40),
+		simpleJob("d", 100, 50, 900),
+	}
+	for _, j := range jobs {
+		j.RescaleOverheadSec = 1
+	}
+	return jobs
+}
+
+// TestObsDeterminism is the golden determinism check of DESIGN.md §8: a run
+// with the full observability stack wired (bus, metrics, core decision
+// tracing, a ticking injected clock) must produce a byte-identical Result
+// to the same run with observability disabled.
+func TestObsDeterminism(t *testing.T) {
+	run := func(o *obs.Obs) Result {
+		ef := core.New(core.Options{SlotSec: 1, PowerOfTwo: true}).WithObs(o)
+		res, err := Run(Config{
+			Topology:     smallTopology(),
+			Scheduler:    ef,
+			RecordEvents: true,
+			SampleSec:    25,
+			Obs:          o,
+		}, obsTrace(), "golden")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// A fake clock that advances on every read: decision timers observe
+	// nonzero latencies without touching the wall clock.
+	now := time.Unix(0, 0)
+	clock := func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	}
+	withObs := run(obs.New(obs.Options{Clock: clock}))
+	without := run(nil)
+
+	a, err := json.Marshal(withObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("Result differs with obs enabled:\nwith:    %s\nwithout: %s", a, b)
+	}
+}
+
+// TestObsSimWiring: a simulated run populates the bus and the metric
+// catalog — admissions, drops, completions, rescales and decision latency
+// all move.
+func TestObsSimWiring(t *testing.T) {
+	o := obs.NewDefault()
+	ef := core.New(core.Options{SlotSec: 1, PowerOfTwo: true}).WithObs(o)
+	res, err := Run(Config{Topology: smallTopology(), Scheduler: ef, Obs: o}, obsTrace(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) != 0 {
+		t.Errorf("Result.Events recorded without RecordEvents: %d", len(res.Events))
+	}
+
+	kinds := map[string]int{}
+	for _, ev := range o.Bus.Since(0) {
+		kinds[ev.Kind]++
+	}
+	if kinds[obs.KindAdmit] != 4 || kinds[obs.KindDrop] != 1 {
+		t.Errorf("bus kinds = %v, want 4 admits and 1 drop", kinds)
+	}
+	if kinds[obs.KindComplete] != 4 {
+		t.Errorf("bus kinds = %v, want 4 completes", kinds)
+	}
+	if kinds[obs.KindSchedAdmit] != 5 || kinds[obs.KindSchedAlloc] == 0 {
+		t.Errorf("bus kinds = %v, want 5 sched-admit and some sched-alloc", kinds)
+	}
+
+	var b strings.Builder
+	if err := o.Metrics.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`ef_admissions_total{verdict="admit"} 4`,
+		`ef_admissions_total{verdict="drop"} 1`,
+		`ef_completions_total{met="true"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(out, `ef_sched_decision_seconds_count{op="admit"} 5`) {
+		t.Error("metrics missing admit decision latency observations")
+	}
+}
+
+// TestObsLegacyEventParity: with both RecordEvents and Obs set, the legacy
+// Result.Events log and the bus see the same sequence of (time, kind,
+// job, detail).
+func TestObsLegacyEventParity(t *testing.T) {
+	o := obs.NewDefault()
+	res, err := Run(Config{Topology: smallTopology(), Scheduler: fixedScheduler{1}, RecordEvents: true, Obs: o},
+		[]*job.Job{simpleJob("a", 100, 0, 1000)}, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	busEvents := o.Bus.Since(0)
+	if len(busEvents) != len(res.Events) {
+		t.Fatalf("bus has %d events, legacy log %d", len(busEvents), len(res.Events))
+	}
+	for i, ev := range busEvents {
+		legacy := res.Events[i]
+		if ev.Time != legacy.Time || ev.Kind != legacy.Kind || ev.JobID != legacy.JobID || ev.Detail() != legacy.Detail {
+			t.Errorf("event %d mismatch: bus %+v vs legacy %+v", i, ev, legacy)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"github.com/elasticflow/elasticflow/internal/job"
+	"github.com/elasticflow/elasticflow/internal/obs"
 	"github.com/elasticflow/elasticflow/internal/sched"
 	"github.com/elasticflow/elasticflow/internal/topology"
 )
@@ -40,6 +41,13 @@ type Config struct {
 	// RecordEvents captures an event log in Result.Events (admissions,
 	// drops, rescales, migrations, completions, failures).
 	RecordEvents bool
+	// Obs, when non-nil, receives the same events on its structured bus
+	// (stamped with simulated time) plus metrics: admission/completion
+	// counters, rescale/migration totals, utilization and efficiency
+	// gauges, and scheduling-decision latency. Observability is purely
+	// additive — the Result is byte-identical with Obs set or nil (see
+	// TestObsDeterminism).
+	Obs *obs.Obs
 }
 
 // Event is one entry of the optional simulation event log.
@@ -204,12 +212,18 @@ type failEvent struct {
 // avail returns the schedulable capacity: total GPUs minus failed servers.
 func (e *engine) avail() int { return e.g - e.downGPUs }
 
-// logEvent appends to the event log when recording is enabled.
-func (e *engine) logEvent(kind, jobID, detail string) {
-	if !e.cfg.RecordEvents {
+// logEvent is a thin adapter onto the obs bus: the event goes to
+// Config.Obs when wired, and its legacy rendering (Detail is the "k=v ..."
+// form of the fields) to Result.Events when RecordEvents is set.
+func (e *engine) logEvent(kind, jobID string, fields ...obs.Field) {
+	if e.cfg.Obs == nil && !e.cfg.RecordEvents {
 		return
 	}
-	e.res.Events = append(e.res.Events, Event{Time: e.now, Kind: kind, JobID: jobID, Detail: detail})
+	ev := obs.Event{Time: e.now, Kind: kind, JobID: jobID, Fields: fields}
+	e.cfg.Obs.Publish(ev)
+	if e.cfg.RecordEvents {
+		e.res.Events = append(e.res.Events, Event{Time: e.now, Kind: kind, JobID: jobID, Detail: ev.Detail()})
+	}
 }
 
 // Run simulates jobs (sorted by submission time) under cfg and returns the
@@ -412,7 +426,8 @@ func (e *engine) completeDone() bool {
 		st.Completion = e.now
 		st.Met = j.MetDeadline()
 		e.completed++
-		e.logEvent("complete", j.ID, fmt.Sprintf("met=%t", st.Met))
+		e.logEvent(obs.KindComplete, j.ID, obs.F("met", st.Met))
+		e.cfg.Obs.IncCompletion(st.Met)
 		changed = true
 	}
 	e.active = kept
@@ -428,16 +443,21 @@ func (e *engine) admitArrivals() bool {
 		e.submitted++
 		st := &JobResult{ID: j.ID, Class: j.Class, Submit: j.SubmitTime, Deadline: j.Deadline}
 		e.stats[j.ID] = st
-		if e.sched.Admit(e.now, j, e.active, e.avail()) {
+		stop := e.cfg.Obs.Timer()
+		admitted := e.sched.Admit(e.now, j, e.active, e.avail())
+		e.cfg.Obs.ObserveDecision("admit", stop())
+		if admitted {
 			j.State = job.Admitted
 			e.active = append(e.active, j)
-			e.logEvent("admit", j.ID, "")
+			e.logEvent(obs.KindAdmit, j.ID)
+			e.cfg.Obs.IncAdmission("admit")
 			changed = true
 		} else {
 			j.State = job.Dropped
 			st.Dropped = true
 			e.dropped++
-			e.logEvent("drop", j.ID, "admission control")
+			e.logEvent(obs.KindDrop, j.ID, obs.F("reason", "admission control"))
+			e.cfg.Obs.IncAdmission("drop")
 		}
 	}
 	return changed
@@ -454,7 +474,7 @@ func (e *engine) applyFailures() bool {
 		e.nextFail++
 		reservation := fmt.Sprintf("__down-server-%d__", ev.server)
 		if ev.down {
-			e.logEvent("failure", "", fmt.Sprintf("server %d down", ev.server))
+			e.logEvent(obs.KindFailure, "", obs.F("server", ev.server))
 			e.downGPUs += e.cluster.Config().GPUsPerServer
 			if !e.cfg.PlacementFree {
 				block, err := e.cluster.ServerBlock(ev.server)
@@ -477,7 +497,7 @@ func (e *engine) applyFailures() bool {
 				}
 			}
 		} else {
-			e.logEvent("recovery", "", fmt.Sprintf("server %d up", ev.server))
+			e.logEvent(obs.KindRecovery, "", obs.F("server", ev.server))
 			e.downGPUs -= e.cluster.Config().GPUsPerServer
 			if !e.cfg.PlacementFree {
 				if err := e.cluster.Release(reservation); err != nil {
@@ -495,7 +515,9 @@ func (e *engine) applyFailures() bool {
 // others when fragmentation demands it), charging rescale overheads, and
 // recording the scheduler's requested wake-up.
 func (e *engine) reschedule() {
+	stop := e.cfg.Obs.Timer()
 	dec := e.sched.Schedule(e.now, e.active, e.avail())
+	e.cfg.Obs.ObserveDecision("allocate", stop())
 	total := 0
 	for _, g := range dec.Alloc {
 		total += g
@@ -541,7 +563,8 @@ func (e *engine) reschedule() {
 			e.res.Migrations += len(migs)
 			// Migrated bystanders checkpoint/restore too.
 			for _, m := range migs {
-				e.logEvent("migrate", m.JobID, fmt.Sprintf("%v->%v", m.From, m.To))
+				e.logEvent(obs.KindMigrate, m.JobID, obs.F("from", m.From), obs.F("to", m.To))
+				e.cfg.Obs.IncMigration()
 				if other := e.findActive(m.JobID); other != nil && !e.cfg.NoOverheads {
 					e.freeze(other)
 				}
@@ -570,7 +593,8 @@ func (e *engine) freeze(j *job.Job) {
 	}
 	e.res.Rescales++
 	e.stats[j.ID].Rescales++
-	e.logEvent("rescale", j.ID, fmt.Sprintf("gpus=%d", j.GPUs))
+	e.logEvent(obs.KindRescale, j.ID, obs.F("gpus", j.GPUs))
+	e.cfg.Obs.IncRescale()
 }
 
 func (e *engine) findActive(id string) *job.Job {
@@ -596,6 +620,8 @@ func (e *engine) sample() {
 		used += j.GPUs
 		eff += e.jobEfficiency(j)
 	}
+	e.cfg.Obs.SetUsedGPUs(used)
+	e.cfg.Obs.SetClusterEfficiency(eff / float64(e.g))
 	e.res.Samples = append(e.res.Samples, Sample{
 		Time:              e.now,
 		UsedGPUs:          used,
