@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race fuzz-smoke obs-check ci
+.PHONY: all build test vet lint race fuzz-smoke obs-check faults-check ci
 
 all: build test
 
@@ -39,4 +39,13 @@ obs-check:
 	$(GO) test -race ./internal/obs/
 	$(GO) run ./cmd/eflint ./internal/obs/
 
-ci: build vet lint race fuzz-smoke obs-check
+# faults-check exercises the fault-tolerant control plane under the race
+# detector: the deterministic injector, the hardened RPC controller, and the
+# chaos end-to-end (seeded agent crash mid-training → heartbeat detection →
+# checkpoint-mirrored recovery, fixed seed 42 in chaos_test.go), then lints
+# those packages with the repo's analyzers.
+faults-check:
+	$(GO) test -race ./internal/faults/ ./internal/agent/ ./internal/cluster/
+	$(GO) run ./cmd/eflint ./internal/faults/ ./internal/agent/ ./internal/cluster/
+
+ci: build vet lint race fuzz-smoke obs-check faults-check

@@ -7,6 +7,14 @@
 // Usage:
 //
 //	efcluster [-servers 2] [-gpus-per-server 8] [-jobs 3] [-iters 150]
+//	          [-faults 'crash:agent=server-1,op=Step,at=12'] [-fault-seed 42]
+//	          [-heartbeat-misses 3]
+//
+// -faults takes a deterministic injection schedule (see internal/faults:
+// ';'-separated rules of kind error|delay|drop|crash). With a crash rule the
+// run exercises the full §4.4 recovery path: heartbeats detect the dead
+// agent, its jobs restart from mirrored checkpoints on the survivors, and
+// the demo prints the fault/recovery event trail at the end.
 package main
 
 import (
@@ -17,7 +25,9 @@ import (
 
 	"github.com/elasticflow/elasticflow/internal/agent"
 	"github.com/elasticflow/elasticflow/internal/cluster"
+	"github.com/elasticflow/elasticflow/internal/faults"
 	"github.com/elasticflow/elasticflow/internal/model"
+	"github.com/elasticflow/elasticflow/internal/obs"
 	"github.com/elasticflow/elasticflow/internal/serverless"
 	"github.com/elasticflow/elasticflow/internal/topology"
 )
@@ -27,19 +37,37 @@ func main() {
 	perServer := flag.Int("gpus-per-server", 8, "GPUs per server (power of two)")
 	jobs := flag.Int("jobs", 3, "demo jobs to submit")
 	iters := flag.Int("iters", 150, "training iterations per job")
+	faultSpec := flag.String("faults", "", "fault schedule, e.g. 'crash:agent=server-1,op=Step,at=12' (see internal/faults)")
+	faultSeed := flag.Int64("fault-seed", 42, "seed for probabilistic fault rules")
+	heartbeatMisses := flag.Int("heartbeat-misses", 3, "consecutive failed pings before an agent is declared down")
 	flag.Parse()
 
+	var inj *faults.Injector
+	if *faultSpec != "" {
+		rules, err := faults.Parse(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inj = faults.New(*faultSeed, rules)
+	}
 	clock := time.Unix(0, 0)
-	orch, err := cluster.New(cluster.Options{Platform: serverless.Options{
-		Topology: topology.Config{Servers: *servers, GPUsPerServer: *perServer},
-		Clock:    func() time.Time { return clock },
-	}})
+	orch, err := cluster.New(cluster.Options{
+		Platform: serverless.Options{
+			Topology: topology.Config{Servers: *servers, GPUsPerServer: *perServer},
+			Clock:    func() time.Time { return clock },
+		},
+		Faults:          inj,
+		HeartbeatMisses: *heartbeatMisses,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer orch.Close()
-	fmt.Printf("efcluster: %d agents × %d GPUs, ElasticFlow scheduling live trainers over net/rpc\n\n",
-		*servers, *perServer)
+	fmt.Printf("efcluster: %d agents × %d GPUs, ElasticFlow scheduling live trainers over net/rpc\n", *servers, *perServer)
+	if inj != nil {
+		fmt.Printf("fault injection armed (seed %d): %s\n", *faultSeed, *faultSpec)
+	}
+	fmt.Println()
 
 	// Submit a few serverless functions, rotating through the catalog.
 	catalog := model.Catalog()
@@ -72,26 +100,47 @@ func main() {
 		clock = clock.Add(30 * time.Second)
 	}
 
-	// Drive training; reconcile between rounds so elastic decisions land.
+	// Drive training; reconcile between rounds so elastic decisions land,
+	// and heartbeat so injected agent deaths are detected and recovered.
+	// Per-job step/reconcile errors are expected while a fault is in
+	// flight — the next health check fences the agent and recovery
+	// relaunches its jobs — so they are logged, not fatal.
 	fmt.Println()
 	for round := 0; round < *iters/10; round++ {
 		if err := orch.Step(10); err != nil {
-			log.Fatal(err)
+			log.Printf("step: %v", err)
 		}
 		clock = clock.Add(time.Minute)
+		if down := orch.HealthCheck(); len(down) > 0 {
+			fmt.Printf("health: declared %v down; recovering their jobs from mirrored checkpoints\n", down)
+		}
 		if err := orch.Reconcile(); err != nil {
-			log.Fatal(err)
+			log.Printf("reconcile: %v", err)
 		}
 	}
 
-	fmt.Println("final training state:")
+	fmt.Println("\nfinal training state:")
 	for _, id := range ids {
 		ts, err := orch.TrainingStatus(id)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Printf("  %s unreachable: %v\n", id, err)
+			continue
 		}
 		home, _ := orch.Home(id)
 		fmt.Printf("  %s on %-9s step=%d/%d workers=%d loss=%.6f done=%v\n",
 			id, home, ts.Step, *iters, ts.Workers, ts.Loss, ts.Done)
+	}
+
+	// With faults armed, show the §4.4 trail: injections, detection,
+	// mirror/restore traffic.
+	if inj != nil {
+		fmt.Println("\nfault/recovery events:")
+		for _, ev := range orch.Platform().Obs().Bus.Since(0) {
+			switch ev.Kind {
+			case obs.KindFault, obs.KindRetry, obs.KindAgentDown, obs.KindAgentUp,
+				obs.KindRestore, obs.KindLost, obs.KindInfeasible:
+				fmt.Printf("  %-18s job=%-9s %v\n", ev.Kind, ev.JobID, ev.Fields)
+			}
+		}
 	}
 }

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	efserver [-addr :8080] [-servers 2] [-gpus-per-server 8] [-timescale 1]
+//	         [-chaos 1@30s+60s]
 //
 // Submit a training function with:
 //
@@ -11,28 +12,89 @@
 //	  "model": "resnet50", "global_batch": 128,
 //	  "iterations": 100000, "deadline_seconds": 3600}'
 //
+// -chaos takes a comma-separated failure schedule in platform time:
+// "1@30s+60s" fails server 1 at t=30s and recovers it 60s later (omit the
+// +duration to leave it down). Server failures are also injectable at
+// runtime via POST /v1/cluster/servers/{id}/down and .../up.
+//
 // Observability: GET /metrics serves Prometheus text exposition and
 // GET /debug/events?since=<seq> the structured scheduler event log.
+// SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"github.com/elasticflow/elasticflow/internal/serverless"
 	"github.com/elasticflow/elasticflow/internal/topology"
 )
 
+// chaosEvent is one scheduled server state flip, in platform seconds.
+type chaosEvent struct {
+	at     float64
+	server int
+	down   bool
+}
+
+// parseChaos parses "server@start[+duration]" entries, comma-separated,
+// into a time-ordered event list.
+func parseChaos(spec string) ([]chaosEvent, error) {
+	var evs []chaosEvent
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		srvStr, when, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("chaos entry %q: want server@start[+duration]", part)
+		}
+		server, err := strconv.Atoi(srvStr)
+		if err != nil {
+			return nil, fmt.Errorf("chaos entry %q: bad server: %w", part, err)
+		}
+		startStr, durStr, hasDur := strings.Cut(when, "+")
+		start, err := time.ParseDuration(startStr)
+		if err != nil {
+			return nil, fmt.Errorf("chaos entry %q: bad start: %w", part, err)
+		}
+		evs = append(evs, chaosEvent{at: start.Seconds(), server: server, down: true})
+		if hasDur {
+			dur, err := time.ParseDuration(durStr)
+			if err != nil {
+				return nil, fmt.Errorf("chaos entry %q: bad duration: %w", part, err)
+			}
+			evs = append(evs, chaosEvent{at: (start + dur).Seconds(), server: server, down: false})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	return evs, nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	servers := flag.Int("servers", 2, "virtual servers (power of two)")
 	perServer := flag.Int("gpus-per-server", 8, "GPUs per server (power of two)")
 	timescale := flag.Float64("timescale", 1, "platform seconds per wall second")
+	chaos := flag.String("chaos", "", "server failure schedule, e.g. 1@30s+60s (platform time)")
 	flag.Parse()
 
+	schedule, err := parseChaos(*chaos)
+	if err != nil {
+		log.Fatal(err)
+	}
 	p, err := serverless.NewPlatform(serverless.Options{
 		Topology:  topology.Config{Servers: *servers, GPUsPerServer: *perServer},
 		TimeScale: *timescale,
@@ -40,12 +102,69 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Periodic ticks complete jobs and reschedule between API calls.
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Periodic ticks complete jobs, reschedule between API calls, and fire
+	// the chaos schedule against platform time. The goroutine exits with
+	// the process instead of leaking (the old time.Tick never stopped).
+	tickerDone := make(chan struct{})
 	go func() {
-		for range time.Tick(time.Second) {
-			p.Tick()
+		defer close(tickerDone)
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				now := p.Now()
+				for len(schedule) > 0 && schedule[0].at <= now {
+					ev := schedule[0]
+					schedule = schedule[1:]
+					if ev.down {
+						evicted, err := p.NodeDown(ev.server)
+						if err != nil {
+							log.Printf("chaos: server %d down: %v", ev.server, err)
+							continue
+						}
+						log.Printf("chaos: server %d down at t=%.0fs (evicted %d jobs)", ev.server, now, len(evicted))
+					} else {
+						if err := p.NodeUp(ev.server); err != nil {
+							log.Printf("chaos: server %d up: %v", ev.server, err)
+							continue
+						}
+						log.Printf("chaos: server %d recovered at t=%.0fs", ev.server, now)
+					}
+				}
+				p.Tick()
+			}
 		}
 	}()
-	fmt.Printf("efserver: %d GPUs, timescale %.0fx, listening on %s (metrics on /metrics, events on /debug/events)\n", *servers**perServer, *timescale, *addr)
-	log.Fatal(http.ListenAndServe(*addr, serverless.Handler(p)))
+
+	srv := &http.Server{Addr: *addr, Handler: serverless.Handler(p)}
+	fmt.Printf("efserver: %d GPUs, timescale %.0fx, listening on %s (metrics on /metrics, events on /debug/events)\n",
+		*servers**perServer, *timescale, *addr)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
+		// Listener failed before any signal (e.g. port in use).
+		stop()
+		<-tickerDone
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("efserver: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("efserver: shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("efserver: serve: %v", err)
+	}
+	<-tickerDone
 }

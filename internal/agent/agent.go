@@ -95,6 +95,21 @@ type StopArgs struct{ JobID string }
 // StopReply carries the final checkpoint.
 type StopReply struct{ Checkpoint elastic.Checkpoint }
 
+// PingArgs is the empty heartbeat request.
+type PingArgs struct{}
+
+// PingReply reports agent liveness: its name and live task count.
+type PingReply struct {
+	Agent string
+	Jobs  int
+}
+
+// SnapshotArgs requests a checkpoint copy of a running job.
+type SnapshotArgs struct{ JobID string }
+
+// SnapshotReply carries the checkpoint; the job keeps running.
+type SnapshotReply struct{ Checkpoint elastic.Checkpoint }
+
 // StatusArgs queries a job.
 type StatusArgs struct{ JobID string }
 
@@ -198,6 +213,27 @@ func (a *Agent) Stop(args StopArgs, reply *StopReply) error {
 	a.mu.Lock()
 	delete(a.tasks, args.JobID)
 	a.mu.Unlock()
+	return nil
+}
+
+// Ping implements the heartbeat RPC the orchestrator's health monitor
+// polls (DESIGN.md §9).
+func (a *Agent) Ping(args PingArgs, reply *PingReply) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	*reply = PingReply{Agent: a.name, Jobs: len(a.tasks)}
+	return nil
+}
+
+// Snapshot implements the RPC: checkpoint a job in place, leaving it
+// running — the checkpoint-mirroring path that lets the orchestrator
+// restart the job elsewhere if this agent dies.
+func (a *Agent) Snapshot(args SnapshotArgs, reply *SnapshotReply) error {
+	t, err := a.get(args.JobID)
+	if err != nil {
+		return err
+	}
+	reply.Checkpoint = t.trainer.Checkpoint()
 	return nil
 }
 

@@ -7,12 +7,15 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"github.com/elasticflow/elasticflow/internal/agent"
 	"github.com/elasticflow/elasticflow/internal/elastic"
+	"github.com/elasticflow/elasticflow/internal/faults"
+	"github.com/elasticflow/elasticflow/internal/obs"
 	"github.com/elasticflow/elasticflow/internal/serverless"
 	"github.com/elasticflow/elasticflow/internal/topology"
 )
@@ -22,6 +25,18 @@ type Options struct {
 	// Platform configures the scheduling side. Its Observer field is
 	// reserved for the orchestrator.
 	Platform serverless.Options
+	// Faults, when non-nil, wraps the controller↔agent transport so chaos
+	// schedules fire deterministically (DESIGN.md §9). A crash fault also
+	// closes the victim agent's listener, so redials fail like a dead
+	// process's would.
+	Faults *faults.Injector
+	// Controller tunes the RPC robustness policy (per-call deadline,
+	// retry budget, backoff). Its Obs and Dial fields default to the
+	// platform's sink and the (possibly fault-wrapped) dialer.
+	Controller agent.ControllerOptions
+	// HeartbeatMisses is K: consecutive failed pings before the health
+	// monitor declares an agent down (default 3).
+	HeartbeatMisses int
 }
 
 // Orchestrator binds the platform to the agents.
@@ -29,6 +44,11 @@ type Orchestrator struct {
 	platform *serverless.Platform
 	ctrl     *agent.Controller
 	topo     topology.Config
+	// heartbeatK is the miss threshold K; immutable after New.
+	heartbeatK int
+	// listenStops closes one agent's listener; written only in New and
+	// read-only afterwards.
+	listenStops map[string]func()
 
 	mu    sync.Mutex
 	specs map[string]agent.TaskSpec // jobID → training task
@@ -36,7 +56,14 @@ type Orchestrator struct {
 	workers map[string]int                // jobID → live worker count (0 = suspended)
 	homes   map[string]string             // jobID → agent name
 	parked  map[string]elastic.Checkpoint // checkpoints of suspended jobs
-	stops   []func()
+	// mirrors holds the latest checkpoint copied off each live job's
+	// agent — the state recovery restores from. guarded by mu
+	mirrors map[string]elastic.Checkpoint
+	// missed counts consecutive failed heartbeats per agent. guarded by mu
+	missed map[string]int
+	// downAgents marks agents the monitor declared dead. guarded by mu
+	downAgents map[string]bool
+	stops      []func()
 }
 
 // New starts one in-process agent per (virtual) server, speaking net/rpc
@@ -53,14 +80,37 @@ func New(opts Options) (*Orchestrator, error) {
 	if err != nil {
 		return nil, err
 	}
+	copts := opts.Controller
+	if copts.Obs == nil {
+		copts.Obs = platform.Obs()
+	}
+	if opts.Faults != nil {
+		// The injector shares the platform's sink so injected faults land
+		// in the same event log as the recovery they trigger, and wraps
+		// the dialer so crashed agents refuse reconnection.
+		opts.Faults.WithObs(platform.Obs())
+		dial := copts.Dial
+		if dial == nil {
+			dial = agent.DefaultDial
+		}
+		copts.Dial = opts.Faults.WrapDial(dial)
+	}
+	if opts.HeartbeatMisses <= 0 {
+		opts.HeartbeatMisses = 3
+	}
 	o := &Orchestrator{
-		platform: platform,
-		ctrl:     agent.NewController(),
-		topo:     opts.Platform.Topology,
-		specs:    make(map[string]agent.TaskSpec),
-		workers:  make(map[string]int),
-		homes:    make(map[string]string),
-		parked:   make(map[string]elastic.Checkpoint),
+		platform:    platform,
+		ctrl:        agent.NewControllerWith(copts),
+		topo:        opts.Platform.Topology,
+		heartbeatK:  opts.HeartbeatMisses,
+		listenStops: make(map[string]func()),
+		specs:       make(map[string]agent.TaskSpec),
+		workers:     make(map[string]int),
+		homes:       make(map[string]string),
+		parked:      make(map[string]elastic.Checkpoint),
+		mirrors:     make(map[string]elastic.Checkpoint),
+		missed:      make(map[string]int),
+		downAgents:  make(map[string]bool),
 	}
 	for i := 0; i < opts.Platform.Topology.Servers; i++ {
 		name := agentName(i)
@@ -73,10 +123,20 @@ func New(opts Options) (*Orchestrator, error) {
 			return nil, err
 		}
 		o.stops = append(o.stops, stop)
+		o.listenStops[name] = stop
 		if err := o.ctrl.Connect(name, addr); err != nil {
 			o.Close()
 			return nil, err
 		}
+	}
+	if opts.Faults != nil {
+		// A crash fault kills the whole agent process in the model: close
+		// its listener so even un-injected traffic sees a dead peer.
+		opts.Faults.OnCrash(func(name string) {
+			if stop, ok := o.listenStops[name]; ok {
+				stop()
+			}
+		})
 	}
 	return o, nil
 }
@@ -117,7 +177,12 @@ func (o *Orchestrator) Submit(req serverless.SubmitRequest, task agent.TaskSpec)
 
 // Reconcile drives the agent side to match the platform's current decision:
 // desired worker counts and placements become launches, in-place rescales,
-// cross-agent migrations, or suspensions (§5). It is idempotent.
+// cross-agent migrations, or suspensions (§5). It is idempotent. A per-job
+// RPC failure no longer aborts the pass: the remaining jobs are still
+// reconciled, per-job state rolls forward only on success, and the failures
+// come back joined so the caller sees every one. After the pass it mirrors
+// each live job's checkpoint off its agent (best effort) so recovery can
+// restart the job elsewhere if that agent dies.
 func (o *Orchestrator) Reconcile() error {
 	o.platform.Tick()
 	desired := o.platform.Allocations()
@@ -131,11 +196,12 @@ func (o *Orchestrator) Reconcile() error {
 	}
 	sort.Strings(ids)
 
+	var errs []error
 	for _, id := range ids {
 		spec := o.specs[id]
 		want, active := desired[id]
 		cur := o.workers[id]
-		wantAgent := o.agentFor(id)
+		wantAgent := o.agentForLocked(id)
 		curAgent := o.homes[id]
 
 		switch {
@@ -146,15 +212,18 @@ func (o *Orchestrator) Reconcile() error {
 			if cur > 0 {
 				ck, err := o.ctrl.Stop(id)
 				if err != nil {
-					return fmt.Errorf("cluster: suspend %s: %w", id, err)
+					errs = append(errs, fmt.Errorf("cluster: suspend %s: %w", id, err))
+					continue
 				}
 				o.parked[id] = ck
 				o.workers[id] = 0
 				delete(o.homes, id)
+				delete(o.mirrors, id)
 			}
 			if !active {
 				delete(o.specs, id)
 				delete(o.parked, id)
+				delete(o.mirrors, id)
 			}
 		case cur == 0:
 			// Fresh launch, or resume from the parked checkpoint.
@@ -165,38 +234,76 @@ func (o *Orchestrator) Reconcile() error {
 				_, err = o.ctrl.Launch(id, spec, wantAgent, want)
 			}
 			if err != nil {
-				return fmt.Errorf("cluster: launch %s: %w", id, err)
+				errs = append(errs, fmt.Errorf("cluster: launch %s: %w", id, err))
+				continue
 			}
 			delete(o.parked, id)
 			o.workers[id] = want
 			o.homes[id] = wantAgent
 		case curAgent != wantAgent:
 			if _, err := o.ctrl.Migrate(id, wantAgent, want); err != nil {
-				return fmt.Errorf("cluster: migrate %s: %w", id, err)
+				errs = append(errs, fmt.Errorf("cluster: migrate %s: %w", id, err))
+				continue
 			}
 			o.workers[id] = want
 			o.homes[id] = wantAgent
 		case cur != want:
 			if _, err := o.ctrl.Rescale(id, want); err != nil {
-				return fmt.Errorf("cluster: rescale %s: %w", id, err)
+				errs = append(errs, fmt.Errorf("cluster: rescale %s: %w", id, err))
+				continue
 			}
 			o.workers[id] = want
 		}
 	}
-	return nil
+	o.mirrorLocked(ids)
+	return errors.Join(errs...)
 }
 
-// agentFor maps a job's buddy placement to the agent hosting its first GPU.
-// (A multi-server block trains through its lead agent in this in-process
-// deployment; the real system would gang workers across agents.)
-func (o *Orchestrator) agentFor(id string) string {
+// mirrorLocked copies each live job's current checkpoint into the
+// orchestrator's mirror store. Failures are recorded on the obs sink but do
+// not fail the reconciliation: a missed mirror only widens the restart
+// window, the previous mirror still bounds the loss.
+func (o *Orchestrator) mirrorLocked(ids []string) {
+	sink := o.platform.Obs()
+	for _, id := range ids {
+		if o.workers[id] == 0 {
+			continue
+		}
+		if _, still := o.specs[id]; !still {
+			continue
+		}
+		ck, err := o.ctrl.Snapshot(id)
+		if err != nil {
+			sink.IncError("checkpoint-mirror")
+			continue
+		}
+		o.mirrors[id] = ck
+		sink.IncMirror()
+		sink.EventNow(obs.KindMirror, id, obs.F("step", ck.Step), obs.F("agent", o.homes[id]))
+	}
+}
+
+// agentForLocked maps a job's buddy placement to the agent hosting its first
+// GPU, skipping agents the health monitor declared down. (A multi-server
+// block trains through its lead agent in this in-process deployment; the
+// real system would gang workers across agents.)
+func (o *Orchestrator) agentForLocked(id string) string {
 	if b, ok := o.platform.PlacementOf(id); ok {
-		return agentName(b.Start / o.topo.GPUsPerServer)
+		if name := agentName(b.Start / o.topo.GPUsPerServer); !o.downAgents[name] {
+			return name
+		}
+	}
+	for i := 0; i < o.topo.Servers; i++ {
+		if name := agentName(i); !o.downAgents[name] {
+			return name
+		}
 	}
 	return agentName(0)
 }
 
-// Step advances every live trainer by n iterations.
+// Step advances every live trainer by n iterations. Like Reconcile it keeps
+// going past per-job failures and reports them joined, so one dead agent
+// cannot stall every other job's training.
 func (o *Orchestrator) Step(n int) error {
 	o.mu.Lock()
 	ids := make([]string, 0, len(o.workers))
@@ -207,12 +314,13 @@ func (o *Orchestrator) Step(n int) error {
 	}
 	o.mu.Unlock()
 	sort.Strings(ids)
+	var errs []error
 	for _, id := range ids {
 		if _, err := o.ctrl.Step(id, n); err != nil {
-			return err
+			errs = append(errs, fmt.Errorf("cluster: step %s: %w", id, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // TrainingStatus reports a live job's agent-side state.

@@ -32,12 +32,15 @@ type Options struct {
 	// HorizonSlots caps the planning horizon for jobs without deadlines
 	// (default 7 days of slots).
 	HorizonSlots int
-	// SafetyRescales is the number of rescale overheads subtracted from
-	// each deadline during planning, absorbing the scaling costs the
-	// slot-level model does not see (default 5). The margin is empirical,
-	// not a proof: a job that rescales more than this many times can still
-	// erode past it (fuzzing found misses at 3 with five-rescale churn;
-	// see ROADMAP.md "Open items").
+	// SafetyRescales is the per-job rescale budget: the number of rescale
+	// overheads subtracted from each deadline during planning, absorbing
+	// the scaling costs the slot-level model does not see (default 5).
+	// Rescales actually charged to a job (job.Rescales, incremented by the
+	// simulator/platform on every real rescale including failure-driven
+	// restarts) reduce the remaining margin — see rescaleMargin — and once
+	// the budget is spent the allocator stops volunteering the job for
+	// further expansions. The margin is empirical, not a proof (fuzzing
+	// found misses at 3 with five-rescale churn; see ROADMAP.md).
 	SafetyRescales float64
 	// Quota, when non-nil, is consulted before finally admitting a job
 	// (§4.4 "malicious users"): returning false rejects the job even when
@@ -129,7 +132,7 @@ func (e *ElasticFlow) demand(j *job.Job, now float64) plan.Demand {
 	if !j.HasDeadline() || j.Class != job.SLO {
 		return e.demandBestEffort(j)
 	}
-	safety := e.opts.SafetyRescales * j.RescaleOverheadSec
+	safety := e.rescaleMargin(j)
 	slots := int(math.Floor((j.Deadline - now - safety) / e.opts.SlotSec))
 	if slots < 0 {
 		slots = 0
@@ -139,6 +142,25 @@ func (e *ElasticFlow) demand(j *job.Job, now float64) plan.Demand {
 	}
 	d.DeadlineSlot = slots
 	return d
+}
+
+// rescaleMargin is the deadline slack still reserved for a job's future
+// rescales at replan time: the SafetyRescales budget minus the rescales the
+// job has actually been charged (job.Rescales — including failure-driven
+// restarts), floored at one overhead so a plan is never laid flush against
+// the deadline. Spent rescales therefore stop eroding the margin twice:
+// their cost is already in the elapsed clock, and only the *remaining*
+// budget is held back. Negative budgets keep the legacy fixed margin.
+func (e *ElasticFlow) rescaleMargin(j *job.Job) float64 {
+	s := e.opts.SafetyRescales
+	if s < 0 {
+		return s * j.RescaleOverheadSec
+	}
+	rem := s - float64(j.Rescales)
+	if rem < 1 {
+		rem = 1
+	}
+	return rem * j.RescaleOverheadSec
 }
 
 // demandBestEffort builds the demand of a job scheduled without a deadline
@@ -310,7 +332,7 @@ func (e *ElasticFlow) traceAdmit(now float64, cand *job.Job, v admitVerdict) {
 // even the planning horizon cannot fit the job.
 func (e *ElasticFlow) EarliestDeadline(now float64, cand *job.Job, active []*job.Job, g int) (float64, bool) {
 	deadlineAt := func(slots int) float64 {
-		return now + e.opts.SafetyRescales*cand.RescaleOverheadSec + float64(slots+1)*e.opts.SlotSec
+		return now + e.rescaleMargin(cand) + float64(slots+1)*e.opts.SlotSec
 	}
 	check := func(slots int) bool {
 		c := *cand
@@ -469,6 +491,12 @@ func (e *ElasticFlow) probe(f *plan.Filler, p *prioJob) bool {
 	need := 1e-12
 	started := p.j.GPUs > 0 || p.j.DoneIters > 0
 	if started && p.cur.GPUsAt(0) == p.j.GPUs && step != p.j.GPUs {
+		// A guaranteed job that has already consumed its SafetyRescales
+		// budget stops volunteering for expansions: what margin remains
+		// is reserved for mandatory replans (contention, failures).
+		if !p.bestEffort && e.opts.SafetyRescales >= 0 && float64(p.j.Rescales) >= e.opts.SafetyRescales {
+			return false
+		}
 		need = p.j.RescaleOverheadSec
 	}
 	if !(p.cur.FinishTime(e.opts.SlotSec)-alt.FinishTime(e.opts.SlotSec) > need) {

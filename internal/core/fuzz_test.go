@@ -68,6 +68,15 @@ func FuzzAdmissionControl(f *testing.F) {
 				t.Fatalf("seed %d: admitted job %s violated its deadline (completion %.0f > deadline %.0f, %d rescales)",
 					seed, jr.ID, jr.Completion, jr.Deadline, jr.Rescales)
 			}
+			// The SafetyRescales budget (default 5) bounds *voluntary*
+			// expansions: once a job has spent it, the allocator stops
+			// volunteering it for more (core.probe). Mandatory replans —
+			// shrinks forced by each other job's arrival or departure —
+			// are outside the budget, hence the +n allowance.
+			if !jr.Dropped && jr.Rescales > 5+n {
+				t.Fatalf("seed %d: job %s charged %d rescales, budget 5 + %d churn allowance",
+					seed, jr.ID, jr.Rescales, n)
+			}
 		}
 	})
 }

@@ -1,0 +1,259 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/elasticflow/elasticflow/internal/obs"
+)
+
+// fakeCaller records calls and closes.
+type fakeCaller struct {
+	calls  []string
+	closed int
+	err    error
+}
+
+func (f *fakeCaller) Call(method string, args, reply any) error {
+	f.calls = append(f.calls, method)
+	return f.err
+}
+
+func (f *fakeCaller) Close() error {
+	f.closed++
+	return nil
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	fc := &fakeCaller{}
+	c := in.Wrap("server-0", fc)
+	if c != Caller(fc) {
+		t.Fatalf("nil injector should return the caller unchanged")
+	}
+	if in.Crashed("server-0") {
+		t.Fatalf("nil injector reports crashes")
+	}
+	dial := in.WrapDial(func(name, addr string) (Caller, error) { return fc, nil })
+	if c, err := dial("a", "b"); err != nil || c != Caller(fc) {
+		t.Fatalf("nil WrapDial altered dial: %v %v", c, err)
+	}
+}
+
+func TestErrorRuleAtNthCall(t *testing.T) {
+	in := New(1, []Rule{{Kind: Error, Op: "Step", At: 2}})
+	fc := &fakeCaller{}
+	c := in.Wrap("server-0", fc)
+	if err := c.Call("Agent.Step", nil, nil); err != nil {
+		t.Fatalf("call 1: %v", err)
+	}
+	if err := c.Call("Agent.Step", nil, nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("call 2: want ErrInjected, got %v", err)
+	}
+	if err := c.Call("Agent.Step", nil, nil); err != nil {
+		t.Fatalf("call 3: %v", err)
+	}
+	if got := len(fc.calls); got != 2 {
+		t.Fatalf("inner calls = %d, want 2 (faulted call must not reach the agent)", got)
+	}
+}
+
+func TestOpAndAgentFilters(t *testing.T) {
+	in := New(1, []Rule{{Kind: Error, Agent: "server-1", Op: "Launch"}})
+	a0 := in.Wrap("server-0", &fakeCaller{})
+	a1 := in.Wrap("server-1", &fakeCaller{})
+	if err := a0.Call("Agent.Launch", nil, nil); err != nil {
+		t.Fatalf("wrong agent faulted: %v", err)
+	}
+	if err := a1.Call("Agent.Step", nil, nil); err != nil {
+		t.Fatalf("wrong op faulted: %v", err)
+	}
+	if err := a1.Call("Agent.Launch", nil, nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching call not faulted: %v", err)
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	in := New(1, []Rule{{Kind: Error, After: 3, Times: 2}})
+	c := in.Wrap("server-0", &fakeCaller{})
+	var errs []bool
+	for i := 0; i < 6; i++ {
+		errs = append(errs, errors.Is(c.Call("Agent.Step", nil, nil), ErrInjected))
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if errs[i] != want[i] {
+			t.Fatalf("call %d faulted=%v, want %v (after=3 times=2)", i+1, errs[i], want[i])
+		}
+	}
+}
+
+func TestDropClosesConnection(t *testing.T) {
+	in := New(1, []Rule{{Kind: Drop, At: 1}})
+	fc := &fakeCaller{}
+	c := in.Wrap("server-0", fc)
+	if err := c.Call("Agent.Step", nil, nil); !errors.Is(err, ErrDropped) {
+		t.Fatalf("want ErrDropped, got %v", err)
+	}
+	if fc.closed != 1 {
+		t.Fatalf("drop should close the underlying caller once, closed=%d", fc.closed)
+	}
+	if err := c.Call("Agent.Step", nil, nil); err != nil {
+		t.Fatalf("later calls proceed: %v", err)
+	}
+}
+
+func TestDelayUsesInjectedSleep(t *testing.T) {
+	var slept time.Duration
+	in := New(1, []Rule{{Kind: Delay, Delay: 250 * time.Millisecond, At: 1}}).
+		WithSleep(func(d time.Duration) { slept += d })
+	fc := &fakeCaller{}
+	c := in.Wrap("server-0", fc)
+	if err := c.Call("Agent.Step", nil, nil); err != nil {
+		t.Fatalf("delayed call should still proceed: %v", err)
+	}
+	if slept != 250*time.Millisecond {
+		t.Fatalf("slept %v, want 250ms", slept)
+	}
+	if len(fc.calls) != 1 {
+		t.Fatalf("delayed call must reach the agent")
+	}
+}
+
+func TestCrashIsPermanentAndHooks(t *testing.T) {
+	var crashedAgent string
+	in := New(1, []Rule{{Kind: Crash, Agent: "server-1", At: 2}}).
+		OnCrash(func(a string) { crashedAgent = a })
+	fc := &fakeCaller{}
+	c := in.Wrap("server-1", fc)
+	if err := c.Call("Agent.Step", nil, nil); err != nil {
+		t.Fatalf("call 1: %v", err)
+	}
+	err := c.Call("Agent.Step", nil, nil)
+	var ce *CrashedError
+	if !errors.As(err, &ce) || ce.Agent != "server-1" {
+		t.Fatalf("call 2: want CrashedError{server-1}, got %v", err)
+	}
+	if crashedAgent != "server-1" {
+		t.Fatalf("OnCrash hook got %q", crashedAgent)
+	}
+	if !in.Crashed("server-1") || in.Crashed("server-0") {
+		t.Fatalf("crashed bookkeeping wrong")
+	}
+	// Every later call fails without reaching the agent.
+	if err := c.Call("Agent.Status", nil, nil); !errors.As(err, &ce) {
+		t.Fatalf("post-crash call: %v", err)
+	}
+	if len(fc.calls) != 1 {
+		t.Fatalf("crashed agent received %d calls, want 1", len(fc.calls))
+	}
+	// Redials are refused too.
+	dial := in.WrapDial(func(name, addr string) (Caller, error) { return &fakeCaller{}, nil })
+	if _, err := dial("server-1", "x"); !errors.As(err, &ce) {
+		t.Fatalf("redial of crashed agent: %v", err)
+	}
+	if c2, err := dial("server-0", "x"); err != nil || c2 == nil {
+		t.Fatalf("dial of live agent: %v", err)
+	}
+}
+
+func TestProbabilisticRuleIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(seed, []Rule{{Kind: Error, P: 0.5}})
+		c := in.Wrap("server-0", &fakeCaller{})
+		var out []bool
+		for i := 0; i < 32; i++ {
+			out = append(out, errors.Is(c.Call("Agent.Step", nil, nil), ErrInjected))
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times — filter not probabilistic", fired, len(a))
+	}
+}
+
+func TestObsEmission(t *testing.T) {
+	o := obs.NewDefault()
+	in := New(1, []Rule{{Kind: Error, At: 1}}).WithObs(o)
+	c := in.Wrap("server-0", &fakeCaller{})
+	if err := c.Call("Agent.Step", nil, nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	evs := o.Bus.Since(0)
+	found := false
+	for _, ev := range evs {
+		if ev.Kind == obs.KindFault {
+			agent, _ := ev.Field("agent")
+			op, _ := ev.Field("op")
+			kind, _ := ev.Field("kind")
+			if agent == "server-0" && op == "Step" && kind == "error" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no fault-injected event on the bus: %+v", evs)
+	}
+}
+
+func TestParse(t *testing.T) {
+	rules, err := Parse("crash:agent=server-1,at=40;delay:op=Step,p=0.5,ms=100;error:after=2,times=3;drop:")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(rules))
+	}
+	want := []Rule{
+		{Kind: Crash, Agent: "server-1", At: 40},
+		{Kind: Delay, Op: "Step", P: 0.5, Delay: 100 * time.Millisecond},
+		{Kind: Error, After: 2, Times: 3},
+		{Kind: Drop},
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Fatalf("rule %d = %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"explode:at=1",        // unknown kind
+		"error:at=zero",       // bad integer
+		"error:at=0",          // at must be >= 1
+		"error:p=2",           // p out of range
+		"delay:op=Step",       // delay without ms
+		"error:badopt=1",      // unknown option
+		"error:agent",         // malformed option
+		"delay:ms=-5,op=Step", // negative ms
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) should fail", spec)
+		}
+	}
+	if rules, err := Parse(" ; ; "); err != nil || len(rules) != 0 {
+		t.Errorf("blank spec: rules=%v err=%v", rules, err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{None: "none", Error: "error", Delay: "delay", Drop: "drop", Crash: "crash"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

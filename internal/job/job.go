@@ -129,6 +129,11 @@ type Job struct {
 	// FrozenUntil is the time before which the job makes no progress
 	// because a scaling/migration is in flight (§6.6).
 	FrozenUntil float64
+	// Rescales counts the scaling/migration events actually charged to
+	// the job so far — including failure-driven restarts. The scheduler
+	// compares it against the SafetyRescales budget when replanning (the
+	// remaining-margin rule; see core.ElasticFlow).
+	Rescales int
 	// CompletionTime records when the job finished (valid once Completed).
 	CompletionTime float64
 }

@@ -36,6 +36,19 @@ const (
 	KindSchedAlloc = "sched-alloc"
 )
 
+// Fault-tolerance event kinds: transport chaos, agent liveness transitions,
+// and the checkpoint-mirroring recovery path (DESIGN.md §9).
+const (
+	KindFault      = "fault-injected"
+	KindRetry      = "rpc-retry"
+	KindAgentDown  = "agent-down"
+	KindAgentUp    = "agent-up"
+	KindMirror     = "checkpoint-mirror"
+	KindRestore    = "checkpoint-restore"
+	KindLost       = "checkpoint-lost"
+	KindInfeasible = "deadline-infeasible"
+)
+
 // Field is one ordered key/value pair of an event. Values are
 // pre-formatted strings so rendering is deterministic and allocation-free
 // at read time.

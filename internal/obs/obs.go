@@ -35,6 +35,14 @@ type Obs struct {
 	usedGPUs     *Gauge        // ef_used_gpus
 	efficiency   *Gauge        // ef_cluster_efficiency
 	decisionSec  *HistogramVec // ef_sched_decision_seconds{op}
+
+	faults      *CounterVec // ef_faults_injected_total{kind}
+	retries     *Counter    // ef_rpc_retries_total
+	agentDowns  *Counter    // ef_agent_down_total
+	mirrors     *Counter    // ef_checkpoint_mirrors_total
+	restores    *Counter    // ef_checkpoint_restores_total
+	recoverySec *Histogram  // ef_recovery_seconds
+	jobRescales *CounterVec // ef_job_rescales_total{job}
 }
 
 // DecisionBuckets are the fixed upper bounds of ef_sched_decision_seconds:
@@ -42,6 +50,12 @@ type Obs struct {
 var DecisionBuckets = []float64{
 	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
 	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1,
+}
+
+// RecoveryBuckets are the fixed upper bounds of ef_recovery_seconds: from
+// 1ms (in-process checkpoint restore) up to a minute (real redeployments).
+var RecoveryBuckets = []float64{
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
 }
 
 // New creates an Obs with the standard metric catalog pre-registered, so
@@ -68,6 +82,14 @@ func New(opts Options) *Obs {
 		usedGPUs:     m.Gauge("ef_used_gpus", "GPUs currently allocated to running jobs."),
 		efficiency:   m.Gauge("ef_cluster_efficiency", "Cluster efficiency per Eq. 8, last sample."),
 		decisionSec:  m.HistogramVec("ef_sched_decision_seconds", "Scheduler decision latency by operation.", DecisionBuckets, "op"),
+
+		faults:      m.CounterVec("ef_faults_injected_total", "Faults injected into the control-plane transport, by kind.", "kind"),
+		retries:     m.Counter("ef_rpc_retries_total", "Controller RPC attempts beyond the first (retry policy)."),
+		agentDowns:  m.Counter("ef_agent_down_total", "Agents declared down by the heartbeat monitor."),
+		mirrors:     m.Counter("ef_checkpoint_mirrors_total", "Checkpoints mirrored from agents to the orchestrator."),
+		restores:    m.Counter("ef_checkpoint_restores_total", "Jobs restored from a mirrored checkpoint after an agent loss."),
+		recoverySec: m.Histogram("ef_recovery_seconds", "Latency from declaring an agent down to jobs relaunched.", RecoveryBuckets),
+		jobRescales: m.CounterVec("ef_job_rescales_total", "Rescale events actually charged, per job.", "job"),
 	}
 	// Seed the fixed-verdict series so a scrape before the first decision
 	// still shows the catalog.
@@ -193,6 +215,64 @@ func (o *Obs) IncAcceptError() {
 	}
 	o.acceptErrors.Inc()
 	o.IncError("agent-accept")
+}
+
+// IncFault counts one injected fault by kind ("error", "delay", "drop",
+// "crash").
+func (o *Obs) IncFault(kind string) {
+	if o == nil {
+		return
+	}
+	o.faults.With(kind).Inc()
+}
+
+// IncRetry counts one controller RPC retry attempt.
+func (o *Obs) IncRetry() {
+	if o == nil {
+		return
+	}
+	o.retries.Inc()
+}
+
+// IncAgentDown counts one agent declared down by the heartbeat monitor.
+func (o *Obs) IncAgentDown() {
+	if o == nil {
+		return
+	}
+	o.agentDowns.Inc()
+}
+
+// IncMirror counts one checkpoint mirrored to the orchestrator.
+func (o *Obs) IncMirror() {
+	if o == nil {
+		return
+	}
+	o.mirrors.Inc()
+}
+
+// IncRestore counts one job restored from a mirrored checkpoint.
+func (o *Obs) IncRestore() {
+	if o == nil {
+		return
+	}
+	o.restores.Inc()
+}
+
+// ObserveRecovery records one agent-loss recovery latency in seconds.
+func (o *Obs) ObserveRecovery(sec float64) {
+	if o == nil {
+		return
+	}
+	o.recoverySec.Observe(sec)
+}
+
+// IncJobRescale counts one rescale event actually charged to the job — the
+// series the SafetyRescales budget is audited against.
+func (o *Obs) IncJobRescale(jobID string) {
+	if o == nil {
+		return
+	}
+	o.jobRescales.With(jobID).Inc()
 }
 
 // SetUsedGPUs records the current allocated-GPU level.

@@ -1,0 +1,153 @@
+package serverless
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/elasticflow/elasticflow/internal/job"
+	"github.com/elasticflow/elasticflow/internal/obs"
+)
+
+// This file is the platform's §4.4 fault model on the live path, mirroring
+// the simulator's Failures semantics: a failed server's GPUs leave the
+// schedulable pool (held by a reservation so the buddy allocator cannot
+// place anything there), its jobs are evicted back to Admitted and re-placed
+// at the next scheduling pass, and every admitted SLO job's guarantee is
+// re-checked against the shrunken capacity — jobs whose deadlines became
+// infeasible keep running demoted but are surfaced with a counter-offer
+// (DeadlineAtRisk + EarliestFeasibleSec) instead of being silently broken.
+
+// downReservation names the placement reservation that holds a failed
+// server's block out of the pool — the same idiom the simulator uses.
+func downReservation(server int) string {
+	return fmt.Sprintf("__down-server-%d__", server)
+}
+
+// capLocked returns the schedulable GPU count: the cluster total minus the
+// capacity of down servers. Every admission/scheduling decision uses it;
+// the Eq. 8 efficiency gauge intentionally keeps the physical total.
+func (p *Platform) capLocked() int {
+	c := p.cluster.TotalGPUs() - p.downGPUs
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// NodeDown declares a server failed: its jobs are evicted (the orchestrator
+// restarts them from mirrored checkpoints), its capacity leaves the pool,
+// and admission guarantees are re-checked. Idempotent; returns the evicted
+// job IDs, sorted.
+func (p *Platform) NodeDown(server int) ([]string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advanceLocked()
+	if server < 0 || server >= p.cluster.Config().Servers {
+		return nil, fmt.Errorf("serverless: server %d out of range [0,%d)", server, p.cluster.Config().Servers)
+	}
+	if p.down[server] {
+		return nil, nil
+	}
+	now := p.lastTick
+	block, err := p.cluster.ServerBlock(server)
+	if err != nil {
+		return nil, err
+	}
+	evicted := p.cluster.JobsOn(block)
+	sort.Strings(evicted)
+	for _, id := range evicted {
+		if err := p.cluster.Release(id); err != nil {
+			return nil, err
+		}
+		if j, ok := p.all[id]; ok {
+			// The workers died with the node; the job resumes from its
+			// checkpoint at the next placement.
+			j.GPUs = 0
+			j.State = job.Admitted
+		}
+	}
+	if err := p.cluster.Reserve(downReservation(server), block); err != nil {
+		return nil, err
+	}
+	p.down[server] = true
+	p.downGPUs += p.cluster.Config().GPUsPerServer
+	p.obs.Event(now, obs.KindFailure, "",
+		obs.F("server", server), obs.F("evicted", len(evicted)))
+	p.recheckGuaranteesLocked(now)
+	p.rescheduleLocked(now)
+	return evicted, nil
+}
+
+// NodeUp returns a failed server's capacity to the pool and re-checks
+// guarantees (at-risk jobs may become feasible again). Idempotent.
+func (p *Platform) NodeUp(server int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.advanceLocked()
+	if server < 0 || server >= p.cluster.Config().Servers {
+		return fmt.Errorf("serverless: server %d out of range [0,%d)", server, p.cluster.Config().Servers)
+	}
+	if !p.down[server] {
+		return nil
+	}
+	now := p.lastTick
+	if err := p.cluster.Release(downReservation(server)); err != nil {
+		return err
+	}
+	delete(p.down, server)
+	p.downGPUs -= p.cluster.Config().GPUsPerServer
+	p.obs.Event(now, obs.KindRecovery, "", obs.F("server", server))
+	p.recheckGuaranteesLocked(now)
+	p.rescheduleLocked(now)
+	return nil
+}
+
+// recheckGuaranteesLocked re-runs the admission feasibility check over the
+// admitted SLO jobs after a capacity change (§4.4): a job whose minimum
+// satisfactory share no longer fits is marked deadline-at-risk with a
+// counter-offer (the earliest deadline the shrunken cluster could still
+// guarantee), and a previously at-risk job whose MSS fits again is cleared.
+func (p *Platform) recheckGuaranteesLocked(now float64) {
+	g := p.capLocked()
+	mss := p.ef.MinimumSatisfactoryShare(now, p.active, g)
+	for _, j := range p.active {
+		if j.Class != job.SLO {
+			continue
+		}
+		if a, ok := mss[j.ID]; ok && a.Satisfied {
+			if _, wasAtRisk := p.infeasible[j.ID]; wasAtRisk {
+				delete(p.infeasible, j.ID)
+				p.obs.Event(now, obs.KindInfeasible, j.ID, obs.F("cleared", true))
+			}
+			continue
+		}
+		if _, already := p.infeasible[j.ID]; already {
+			continue
+		}
+		offer := 0.0
+		others := make([]*job.Job, 0, len(p.active))
+		for _, o := range p.active {
+			if o.ID != j.ID {
+				others = append(others, o)
+			}
+		}
+		if dl, ok := p.ef.EarliestDeadline(now, j, others, g); ok {
+			offer = dl - now
+		}
+		p.infeasible[j.ID] = offer
+		p.obs.Event(now, obs.KindInfeasible, j.ID,
+			obs.F("deadline", j.Deadline), obs.F("earliest_feasible_sec", offer))
+	}
+}
+
+// DownServers returns the currently failed server indices, sorted.
+func (p *Platform) DownServers() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, 0, len(p.down))
+	for s := range p.down {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}

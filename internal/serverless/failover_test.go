@@ -1,0 +1,287 @@
+package serverless
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/elasticflow/elasticflow/internal/obs"
+	"github.com/elasticflow/elasticflow/internal/topology"
+)
+
+// feasibilityBracket asks the platform's own counter-offer machinery for
+// the earliest feasible relative deadline of a reference job on a full
+// 16-GPU cluster (e16) and on a single 8-GPU server (e8). A deadline
+// between the two is guaranteeable at full capacity but not after losing a
+// server — the interesting regime for §4.4 tests.
+func feasibilityBracket(t *testing.T) (e16, e8 float64) {
+	t.Helper()
+	offers := make([]float64, 2)
+	for i, servers := range []int{2, 1} {
+		clk := &fakeClock{t: time.Unix(0, 0)}
+		p, err := NewPlatform(Options{
+			Topology: topology.Config{Servers: servers, GPUsPerServer: 8},
+			Clock:    clk.now,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := p.Submit(SubmitRequest{Model: "resnet50", GlobalBatch: 256, Iterations: 4e6, DeadlineSeconds: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "dropped" || st.EarliestFeasibleSec <= 0 {
+			t.Fatalf("probe on %d servers: %+v", servers, st)
+		}
+		offers[i] = st.EarliestFeasibleSec
+	}
+	e16, e8 = offers[0], offers[1]
+	if e8 <= e16*1.02 {
+		t.Skipf("no feasibility gap between 16 and 8 GPUs (e16=%.0f e8=%.0f)", e16, e8)
+	}
+	return e16, e8
+}
+
+func TestNodeDownEvictsAndShrinksCapacity(t *testing.T) {
+	p, _ := newTestPlatform(t)
+	st, err := p.Submit(SubmitRequest{Model: "resnet50", GlobalBatch: 256, Iterations: 5e6, DeadlineSeconds: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GPUs < 16 {
+		t.Fatalf("lone job got %d GPUs, expected the full cluster", st.GPUs)
+	}
+	evicted, err := p.NodeDown(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0] != st.ID {
+		t.Fatalf("evicted %v, want [%s]", evicted, st.ID)
+	}
+	got, err := p.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The job is re-placed immediately on the surviving server's 8 GPUs.
+	if got.GPUs > 8 {
+		t.Fatalf("job holds %d GPUs after half the cluster failed", got.GPUs)
+	}
+	if got.State == "dropped" {
+		t.Fatal("evicted job dropped instead of re-placed")
+	}
+	cs := p.Cluster()
+	if cs.DownServers != 1 {
+		t.Fatalf("DownServers=%d want 1", cs.DownServers)
+	}
+	if ds := p.DownServers(); len(ds) != 1 || ds[0] != 1 {
+		t.Fatalf("DownServers() = %v", ds)
+	}
+	// Idempotent.
+	if again, err := p.NodeDown(1); err != nil || again != nil {
+		t.Fatalf("second NodeDown: %v %v", again, err)
+	}
+	// Out of range.
+	if _, err := p.NodeDown(5); err == nil {
+		t.Fatal("NodeDown(5) on a 2-server cluster succeeded")
+	}
+}
+
+func TestNodeUpRestoresCapacity(t *testing.T) {
+	p, _ := newTestPlatform(t)
+	st, err := p.Submit(SubmitRequest{Model: "resnet50", GlobalBatch: 256, Iterations: 5e6, DeadlineSeconds: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.NodeDown(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.NodeUp(0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GPUs < 16 {
+		t.Fatalf("job holds %d GPUs after full recovery, want 16", got.GPUs)
+	}
+	if cs := p.Cluster(); cs.DownServers != 0 {
+		t.Fatalf("DownServers=%d after NodeUp", cs.DownServers)
+	}
+	// Idempotent on an up server.
+	if err := p.NodeUp(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.NodeUp(9); err == nil {
+		t.Fatal("NodeUp(9) on a 2-server cluster succeeded")
+	}
+}
+
+func TestNodeDownMarksInfeasibleDeadlinesAtRisk(t *testing.T) {
+	e16, e8 := feasibilityBracket(t)
+	p, _ := newTestPlatform(t)
+	// A deadline between the 16-GPU and 8-GPU earliest feasible offers:
+	// guaranteed now, infeasible once half the cluster fails.
+	st, err := p.Submit(SubmitRequest{Model: "resnet50", GlobalBatch: 256, Iterations: 4e6, DeadlineSeconds: (e16 + e8) / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State == "dropped" {
+		t.Fatalf("job not admitted at full capacity: %+v", st)
+	}
+	if _, err := p.NodeDown(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.DeadlineAtRisk {
+		t.Fatalf("deadline still guaranteed on half the cluster: %+v", got)
+	}
+	if got.EarliestFeasibleSec <= 0 {
+		t.Fatalf("no counter-offer on at-risk job: %+v", got)
+	}
+	if got.State == "dropped" {
+		t.Fatal("at-risk job was dropped, not demoted")
+	}
+	found := false
+	for _, ev := range p.Obs().Bus.Since(0) {
+		if ev.Kind == obs.KindInfeasible && ev.JobID == st.ID {
+			if _, ok := ev.Field("earliest_feasible_sec"); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no deadline-infeasible event on the bus")
+	}
+
+	// Capacity returns: the guarantee is re-established and the at-risk
+	// mark cleared.
+	if err := p.NodeUp(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err = p.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DeadlineAtRisk {
+		t.Fatalf("at-risk mark not cleared after recovery: %+v", got)
+	}
+	cleared := false
+	for _, ev := range p.Obs().Bus.Since(0) {
+		if ev.Kind == obs.KindInfeasible && ev.JobID == st.ID {
+			if v, ok := ev.Field("cleared"); ok && v == "true" {
+				cleared = true
+			}
+		}
+	}
+	if !cleared {
+		t.Fatal("no cleared deadline-infeasible event after recovery")
+	}
+}
+
+func TestNodeDownBlocksAdmissionOnLostCapacity(t *testing.T) {
+	e16, e8 := feasibilityBracket(t)
+	deadline := (e16 + e8) / 2
+	p, _ := newTestPlatform(t)
+	if _, err := p.NodeDown(0); err != nil {
+		t.Fatal(err)
+	}
+	// This deadline needs more than the surviving 8 GPUs can deliver.
+	st, err := p.Submit(SubmitRequest{Model: "resnet50", GlobalBatch: 256, Iterations: 4e6, DeadlineSeconds: deadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "dropped" {
+		t.Fatalf("admission ignored lost capacity: %+v", st)
+	}
+	if err := p.NodeUp(0); err != nil {
+		t.Fatal(err)
+	}
+	st, err = p.Submit(SubmitRequest{Model: "resnet50", GlobalBatch: 256, Iterations: 4e6, DeadlineSeconds: deadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State == "dropped" {
+		t.Fatalf("admission still shrunken after recovery: %+v", st)
+	}
+}
+
+func TestNodeDownCompletionClearsAtRisk(t *testing.T) {
+	e16, e8 := feasibilityBracket(t)
+	p, clk := newTestPlatform(t)
+	st, err := p.Submit(SubmitRequest{Model: "resnet50", GlobalBatch: 256, Iterations: 4e6, DeadlineSeconds: (e16 + e8) / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.NodeDown(1); err != nil {
+		t.Fatal(err)
+	}
+	// Let the demoted job run to completion (late) on the survivors.
+	clk.advance(time.Duration(2*e8) * time.Second)
+	got, err := p.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != "completed" {
+		t.Fatalf("state=%s want completed", got.State)
+	}
+	if got.DeadlineAtRisk {
+		t.Fatal("completed job still marked at risk")
+	}
+}
+
+func TestNodeDownHTTPEndpoints(t *testing.T) {
+	p, _ := newTestPlatform(t)
+	srv := httptest.NewServer(Handler(p))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/cluster/servers/1/down", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("down status %d", resp.StatusCode)
+	}
+	if cs := p.Cluster(); cs.DownServers != 1 {
+		t.Fatalf("DownServers=%d after POST down", cs.DownServers)
+	}
+	resp, err = http.Post(srv.URL+"/v1/cluster/servers/1/up", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("up status %d", resp.StatusCode)
+	}
+	if cs := p.Cluster(); cs.DownServers != 0 {
+		t.Fatalf("DownServers=%d after POST up", cs.DownServers)
+	}
+	for _, bad := range []struct {
+		method, path string
+		wantStatus   int
+	}{
+		{http.MethodGet, "/v1/cluster/servers/1/down", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/v1/cluster/servers/1/explode", http.StatusNotFound},
+		{http.MethodPost, "/v1/cluster/servers/x/down", http.StatusBadRequest},
+		{http.MethodPost, "/v1/cluster/servers/99/down", http.StatusBadRequest},
+	} {
+		req, err := http.NewRequest(bad.method, srv.URL+bad.path, strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != bad.wantStatus {
+			t.Errorf("%s %s: status %d want %d", bad.method, bad.path, resp.StatusCode, bad.wantStatus)
+		}
+	}
+}

@@ -17,6 +17,8 @@ import (
 //	GET    /v1/jobs/{id}   one job's status
 //	DELETE /v1/jobs/{id}   cancel a job
 //	GET    /v1/cluster     cluster summary
+//	POST   /v1/cluster/servers/{id}/down   declare a server failed (§4.4)
+//	POST   /v1/cluster/servers/{id}/up     return a server to the pool
 //	GET    /v1/plan        planned future allocations (Algorithm 2 output)
 //	GET    /metrics        Prometheus text exposition of the obs registry
 //	GET    /debug/events   structured event log (?since=<seq> for the tail)
@@ -90,6 +92,37 @@ func Handler(p *Platform) http.Handler {
 		}
 		writeJSON(o, w, http.StatusOK, p.Cluster())
 	})
+	mux.HandleFunc("/v1/cluster/servers/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(o, w, http.StatusMethodNotAllowed, errors.New("use POST"))
+			return
+		}
+		rest := strings.TrimPrefix(r.URL.Path, "/v1/cluster/servers/")
+		idStr, action, ok := strings.Cut(rest, "/")
+		if !ok || (action != "down" && action != "up") {
+			writeError(o, w, http.StatusNotFound, errors.New("use /v1/cluster/servers/{id}/down or .../up"))
+			return
+		}
+		server, err := strconv.Atoi(idStr)
+		if err != nil {
+			writeError(o, w, http.StatusBadRequest, errors.New("server id must be an integer"))
+			return
+		}
+		if action == "down" {
+			evicted, err := p.NodeDown(server)
+			if err != nil {
+				writeError(o, w, http.StatusBadRequest, err)
+				return
+			}
+			writeJSON(o, w, http.StatusOK, nodeTransition{Server: server, State: "down", Evicted: evicted})
+			return
+		}
+		if err := p.NodeUp(server); err != nil {
+			writeError(o, w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(o, w, http.StatusOK, nodeTransition{Server: server, State: "up"})
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeError(o, w, http.StatusMethodNotAllowed, errors.New("use GET"))
@@ -124,6 +157,13 @@ func Handler(p *Platform) http.Handler {
 		})
 	})
 	return mux
+}
+
+// nodeTransition is the POST /v1/cluster/servers/{id}/{down,up} response.
+type nodeTransition struct {
+	Server  int      `json:"server"`
+	State   string   `json:"state"`
+	Evicted []string `json:"evicted,omitempty"`
 }
 
 // EventsPage is the GET /debug/events response: the retained events after

@@ -63,8 +63,13 @@ type JobStatus struct {
 	Placement     string  `json:"placement,omitempty"`
 	// EarliestFeasibleSec is set on dropped submissions: the relative
 	// deadline (seconds from submission) admission control could have
-	// guaranteed instead — the platform's counter-offer.
+	// guaranteed instead — the platform's counter-offer. It is also set
+	// alongside DeadlineAtRisk with the re-admission counter-offer.
 	EarliestFeasibleSec float64 `json:"earliest_feasible_sec,omitempty"`
+	// DeadlineAtRisk marks an admitted SLO job whose deadline can no
+	// longer be guaranteed after capacity loss (§4.4): the job keeps
+	// running demoted, and EarliestFeasibleSec carries the counter-offer.
+	DeadlineAtRisk bool `json:"deadline_at_risk,omitempty"`
 }
 
 // ClusterStatus summarizes the virtual cluster.
@@ -75,6 +80,7 @@ type ClusterStatus struct {
 	Admitted    int     `json:"admitted_jobs"`
 	Completed   int     `json:"completed_jobs"`
 	Dropped     int     `json:"dropped_jobs"`
+	DownServers int     `json:"down_servers,omitempty"`
 	PlatformSec float64 `json:"platform_sec"`
 }
 
@@ -126,6 +132,15 @@ type Platform struct {
 	dropped   int                 // guarded by mu
 	observer  func(map[string]int)
 	obs       *obs.Obs
+
+	// down marks servers declared failed via NodeDown. guarded by mu
+	down map[int]bool
+	// downGPUs is the capacity held by down servers. guarded by mu
+	downGPUs int
+	// infeasible maps admitted SLO jobs whose deadline became
+	// unguaranteeable after capacity loss to the counter-offer (earliest
+	// feasible relative deadline in seconds). guarded by mu
+	infeasible map[string]float64
 }
 
 // NewPlatform creates a platform over a fresh virtual cluster.
@@ -165,10 +180,12 @@ func NewPlatform(opts Options) (*Platform, error) {
 		cluster:  cluster,
 		est:      est,
 		prof:     throughput.NewProfiler(est, opts.Topology.GPUsPerServer, cluster.TotalGPUs()),
-		clock:    clock,
-		start:    clock(),
-		scale:    scale,
-		all:      make(map[string]*job.Job),
+		clock:      clock,
+		start:      clock(),
+		scale:      scale,
+		all:        make(map[string]*job.Job),
+		down:       make(map[int]bool),
+		infeasible: make(map[string]float64),
 	}, nil
 }
 
@@ -234,7 +251,7 @@ func (p *Platform) Submit(req SubmitRequest) (JobStatus, error) {
 	}
 	p.all[j.ID] = j
 	stop := p.obs.Timer()
-	admitted := p.ef.Admit(now, j, p.active, p.cluster.TotalGPUs())
+	admitted := p.ef.Admit(now, j, p.active, p.capLocked())
 	p.obs.ObserveDecision("admit", stop())
 	if admitted {
 		j.State = job.Admitted
@@ -247,7 +264,7 @@ func (p *Platform) Submit(req SubmitRequest) (JobStatus, error) {
 		j.State = job.Dropped
 		p.dropped++
 		st := p.statusLocked(j)
-		if dl, ok := p.ef.EarliestDeadline(now, j, p.active, p.cluster.TotalGPUs()); ok {
+		if dl, ok := p.ef.EarliestDeadline(now, j, p.active, p.capLocked()); ok {
 			st.EarliestFeasibleSec = dl - now
 		}
 		p.obs.Event(now, obs.KindDrop, j.ID,
@@ -301,6 +318,7 @@ func (p *Platform) Cancel(id string) error {
 			}
 		}
 		j.State = job.Dropped
+		delete(p.infeasible, id)
 		p.obs.Event(p.lastTick, obs.KindCancel, id)
 		p.rescheduleLocked(p.lastTick)
 	}
@@ -325,6 +343,7 @@ func (p *Platform) Cluster() ClusterStatus {
 		Admitted:    len(p.active),
 		Completed:   p.completed,
 		Dropped:     p.dropped,
+		DownServers: len(p.down),
 		PlatformSec: p.lastTick,
 	}
 }
@@ -345,7 +364,7 @@ func (p *Platform) Plans() []PlanEntry {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.advanceLocked()
-	plans := p.ef.Plans(p.lastTick, p.active, p.cluster.TotalGPUs())
+	plans := p.ef.Plans(p.lastTick, p.active, p.capLocked())
 	out := make([]PlanEntry, 0, len(plans))
 	for id, a := range plans {
 		out = append(out, PlanEntry{
@@ -395,6 +414,7 @@ func (p *Platform) advanceLocked() {
 			}
 		}
 		p.completed++
+		delete(p.infeasible, j.ID)
 		met := j.MetDeadline()
 		p.obs.Event(now, obs.KindComplete, j.ID, obs.F("met", met))
 		p.obs.IncCompletion(met)
@@ -410,7 +430,7 @@ func (p *Platform) advanceLocked() {
 // rescheduleLocked applies a fresh scheduling decision.
 func (p *Platform) rescheduleLocked(now float64) {
 	stop := p.obs.Timer()
-	dec := p.ef.Schedule(now, p.active, p.cluster.TotalGPUs())
+	dec := p.ef.Schedule(now, p.active, p.capLocked())
 	p.obs.ObserveDecision("allocate", stop())
 	// Shrink/release first, then grow (buddy-friendly ordering).
 	for _, j := range p.active {
@@ -443,8 +463,10 @@ func (p *Platform) rescheduleLocked(now float64) {
 			started := j.GPUs > 0 || j.DoneIters > 0
 			if started {
 				j.FrozenUntil = now + j.RescaleOverheadSec
+				j.Rescales++
 				p.obs.Event(now, obs.KindRescale, j.ID, obs.F("gpus", ng))
 				p.obs.IncRescale()
+				p.obs.IncJobRescale(j.ID)
 			}
 			j.State = job.Running
 		} else {
@@ -550,6 +572,10 @@ func (p *Platform) statusLocked(j *job.Job) JobStatus {
 	}
 	if j.State == job.Completed {
 		s.Completion = j.CompletionTime
+	}
+	if offer, ok := p.infeasible[j.ID]; ok {
+		s.DeadlineAtRisk = true
+		s.EarliestFeasibleSec = offer
 	}
 	return s
 }

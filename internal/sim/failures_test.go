@@ -85,6 +85,43 @@ func TestFailureCapacityRespected(t *testing.T) {
 	}
 }
 
+// TestFailureSurfacesMissedDeadline: a deadline that was guaranteed at
+// admission but became unachievable during a failure window must come back
+// as Finished && !Met — the miss is surfaced, not reported fine. (The live
+// platform surfaces the same state earlier, as DeadlineAtRisk plus a
+// counter-offer, the moment NodeDown shrinks capacity.)
+func TestFailureSurfacesMissedDeadline(t *testing.T) {
+	topo := topology.Config{Servers: 2, GPUsPerServer: 2}
+	// 400 iters: 200 s on 4 GPUs (tput 2), feasible against the 220 s
+	// deadline; 267 s on the 2 GPUs that survive the outage.
+	j := simpleJob("a", 400, 0, 220)
+	ef := core.New(core.Options{SlotSec: 1, PowerOfTwo: true, SafetyRescales: -1})
+	res, err := Run(Config{
+		Topology:  topo,
+		Scheduler: ef,
+		Failures:  []Failure{{Server: 1, StartSec: 20, DurationSec: 1e6}},
+	}, []*job.Job{j}, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := res.Jobs[0]
+	if jr.Dropped {
+		t.Fatal("job was dropped, but its deadline was feasible at admission")
+	}
+	if !jr.Finished {
+		t.Fatal("job never finished on the surviving server")
+	}
+	if jr.Completion <= jr.Deadline {
+		t.Fatalf("completion %.0f beat deadline %.0f — the failure window had no effect", jr.Completion, jr.Deadline)
+	}
+	if jr.Met {
+		t.Fatalf("deadline miss hidden: completion %.0f > deadline %.0f but Met=true", jr.Completion, jr.Deadline)
+	}
+	if r := res.DeadlineSatisfactoryRatio(); r >= 1 {
+		t.Fatalf("aggregate deadline-met ratio %.2f counts the missed job", r)
+	}
+}
+
 // TestFailureReserveProtectsGuarantees: with ReserveGPUs set, admitted jobs
 // survive a one-server outage; without it, the same workload misses
 // deadlines.

@@ -593,8 +593,12 @@ func (e *engine) freeze(j *job.Job) {
 	}
 	e.res.Rescales++
 	e.stats[j.ID].Rescales++
+	// Charge the rescale against the job's own SafetyRescales budget: the
+	// scheduler's next replan sees it via rescaleMargin.
+	j.Rescales++
 	e.logEvent(obs.KindRescale, j.ID, obs.F("gpus", j.GPUs))
 	e.cfg.Obs.IncRescale()
+	e.cfg.Obs.IncJobRescale(j.ID)
 }
 
 func (e *engine) findActive(id string) *job.Job {
