@@ -1,9 +1,13 @@
 # Developer entry points. CI (.github/workflows/ci.yml) runs the same
-# commands; keep the two in sync.
+# commands; `make ci-sync-check` (run as part of lint) verifies the two
+# mechanically — see internal/cisync.
 
 GO ?= go
 
-.PHONY: all build test vet lint race fuzz-smoke obs-check faults-check ci
+# The wall-time-gated benchmarks CI compares between the PR base and head.
+BENCH_GATE = BenchmarkFig6aTestbedSmall|BenchmarkFig7aAllocationTimeline
+
+.PHONY: all build test vet lint race fuzz-smoke obs-check faults-check ci ci-sync-check bench bench-base
 
 all: build test
 
@@ -20,14 +24,20 @@ vet:
 # simulator, `guarded by` mutex annotations, float equality, and discarded
 # errors. Suppress a finding with `//eflint:ignore <analyzer> <reason>` on
 # the same or preceding line; see DESIGN.md for conventions.
-lint:
+lint: ci-sync-check
 	$(GO) run ./cmd/eflint ./...
+
+# ci-sync-check fails when the `ci` target here and the mirror jobs in
+# .github/workflows/ci.yml run different command sets.
+ci-sync-check:
+	$(GO) test ./internal/cisync/
 
 race:
 	$(GO) test -race ./...
 
 # fuzz-smoke gives each fuzz target a short budget — enough to replay the
-# corpus and shake out shallow regressions without stalling CI.
+# corpus and shake out shallow regressions without stalling CI. The nightly
+# workflow runs the same targets at -fuzztime=5m.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzFill -fuzztime=10s ./internal/plan/
 	$(GO) test -run=^$$ -fuzz=FuzzAdmissionControl -fuzztime=10s ./internal/core/
@@ -49,3 +59,17 @@ faults-check:
 	$(GO) run ./cmd/eflint ./internal/faults/ ./internal/agent/ ./internal/cluster/
 
 ci: build vet lint race fuzz-smoke obs-check faults-check
+
+# bench runs the gated benchmarks and, when a baseline exists, applies the
+# same regression gate CI does. Capture the baseline on the base commit with
+# `make bench-base`, switch to your change, then `make bench`.
+bench:
+	$(GO) test -run=^$$ -bench '$(BENCH_GATE)' -benchtime=1x -count=6 . | tee bench-head.txt
+	@if [ -f bench-base.txt ]; then \
+		$(GO) run ./cmd/benchgate -base bench-base.txt -head bench-head.txt; \
+	else \
+		echo "bench: no bench-base.txt — run 'make bench-base' on the base commit to enable the gate"; \
+	fi
+
+bench-base:
+	$(GO) test -run=^$$ -bench '$(BENCH_GATE)' -benchtime=1x -count=6 . | tee bench-base.txt

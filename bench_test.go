@@ -85,9 +85,10 @@ func benchJobs(n, gpus int) []*job.Job {
 	return jobs
 }
 
-// BenchmarkAdmissionControl measures Algorithm 1 on a loaded 128-GPU cluster.
+// BenchmarkAdmissionControl measures Algorithm 1 from scratch on a loaded
+// 128-GPU cluster (plan cache off: every iteration re-fills both passes).
 func BenchmarkAdmissionControl(b *testing.B) {
-	ef := core.NewDefault()
+	ef := core.New(core.Options{PowerOfTwo: true, DisablePlanCache: true})
 	jobs := benchJobs(64, 128)
 	cand := jobs[len(jobs)-1]
 	active := jobs[:len(jobs)-1]
@@ -98,10 +99,41 @@ func BenchmarkAdmissionControl(b *testing.B) {
 	}
 }
 
-// BenchmarkResourceAllocation measures Algorithm 2 (Schedule) with 64 jobs.
-func BenchmarkResourceAllocation(b *testing.B) {
+// BenchmarkAdmissionControlCached is the same decision on the steady-state
+// path: an unchanged job set hits the plan cache, the common case for a
+// platform re-checking admissions under heavy traffic.
+func BenchmarkAdmissionControlCached(b *testing.B) {
 	ef := core.NewDefault()
 	jobs := benchJobs(64, 128)
+	cand := jobs[len(jobs)-1]
+	active := jobs[:len(jobs)-1]
+	ef.Admit(0, cand, active, 128) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ef.Admit(0, cand, active, 128)
+	}
+}
+
+// BenchmarkResourceAllocation measures Algorithm 2 (Schedule) with 64 jobs,
+// plans computed from scratch (plan cache off).
+func BenchmarkResourceAllocation(b *testing.B) {
+	ef := core.New(core.Options{PowerOfTwo: true, DisablePlanCache: true})
+	jobs := benchJobs(64, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ef.Schedule(0, jobs, 128)
+	}
+}
+
+// BenchmarkResourceAllocationCached measures the steady-state Schedule tick:
+// nothing changed since the last call, so the fill pass is pure cache hits
+// and only the greedy spare-capacity phase runs live.
+func BenchmarkResourceAllocationCached(b *testing.B) {
+	ef := core.NewDefault()
+	jobs := benchJobs(64, 128)
+	ef.Schedule(0, jobs, 128) // warm
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -2,9 +2,12 @@
 //
 // Usage:
 //
-//	efbench [-exp id[,id...]] [-quick] [-list]
+//	efbench [-exp id[,id...]] [-quick] [-list] [-json file]
 //
-// Without -exp it runs every experiment in order.
+// Without -exp it runs every experiment in order. With -json it also writes
+// a machine-readable performance report (see internal/bench): per-experiment
+// wall time, scheduler decisions/sec, allocation runs/sec, and the plan
+// cache's hit rate — the BENCH.json artifact CI archives per commit.
 package main
 
 import (
@@ -12,9 +15,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
+	"github.com/elasticflow/elasticflow/internal/bench"
+	"github.com/elasticflow/elasticflow/internal/core"
 	"github.com/elasticflow/elasticflow/internal/experiments"
 )
 
@@ -23,6 +29,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	out := flag.String("out", "", "also write each table to <dir>/<id>.txt")
+	jsonOut := flag.String("json", "", "write a machine-readable perf report to this file (e.g. BENCH.json)")
 	flag.Parse()
 
 	if *out != "" {
@@ -43,26 +50,56 @@ func main() {
 		ids = strings.Split(*exp, ",")
 	}
 	opts := experiments.Options{Quick: *quick}
+	report := &bench.Report{GoVersion: runtime.Version(), Quick: *quick}
 	for _, id := range ids {
 		gen, ok := experiments.Registry[id]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "efbench: unknown experiment %q (use -list)\n", id)
 			os.Exit(2)
 		}
+		core.ResetPlanCacheStats()
+		core.ResetDecisionStats()
 		start := time.Now()
 		table, err := gen(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "efbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		wall := time.Since(start).Seconds()
+		hits, misses := core.PlanCacheStats()
+		admits, allocs := core.DecisionStats()
+		report.Experiments = append(report.Experiments, bench.Experiment{
+			ID:              id,
+			WallSec:         wall,
+			Decisions:       admits,
+			Allocations:     allocs,
+			PlanCacheHits:   hits,
+			PlanCacheMisses: misses,
+		})
 		fmt.Println(table)
-		fmt.Printf("(%s took %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Printf("(%s took %.1fs)\n\n", id, wall)
 		if *out != "" {
 			path := filepath.Join(*out, id+".txt")
 			if err := os.WriteFile(path, []byte(table.String()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "efbench: writing %s: %v\n", path, err)
 				os.Exit(1)
 			}
+		}
+	}
+	if *jsonOut != "" {
+		report.Finalize()
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "efbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := report.Write(f); err != nil {
+			fmt.Fprintf(os.Stderr, "efbench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "efbench: closing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
 		}
 	}
 }

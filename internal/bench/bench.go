@@ -1,0 +1,90 @@
+// Package bench defines the machine-readable schema of BENCH.json — the
+// performance record `efbench -json` emits and CI archives per commit, so
+// the repo accumulates a perf trajectory instead of anecdotes.
+//
+// The schema is additive-only: new fields may appear, existing fields keep
+// their names and meanings, so historical BENCH.json files stay comparable.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Experiment is one experiment's performance record.
+type Experiment struct {
+	// ID is the experiment identifier from the experiments registry
+	// (e.g. "fig6a").
+	ID string `json:"id"`
+	// WallSec is the experiment's wall-clock duration in seconds.
+	WallSec float64 `json:"wall_sec"`
+	// Decisions is the number of admission decisions (core Admit calls)
+	// the experiment made, across every scheduler it compared.
+	Decisions uint64 `json:"decisions"`
+	// Allocations is the number of allocation runs (Algorithm 2
+	// executions; one per Schedule or Plans call).
+	Allocations uint64 `json:"allocations"`
+	// DecisionsPerSec and AllocationsPerSec are the rates over WallSec.
+	DecisionsPerSec   float64 `json:"decisions_per_sec"`
+	AllocationsPerSec float64 `json:"allocations_per_sec"`
+	// PlanCacheHits and PlanCacheMisses count per-job fill outcomes in
+	// the scheduler's plan cache; HitRate is hits/(hits+misses), 0 when
+	// the cache saw no traffic.
+	PlanCacheHits    uint64  `json:"plan_cache_hits"`
+	PlanCacheMisses  uint64  `json:"plan_cache_misses"`
+	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
+}
+
+// Report is the top-level BENCH.json document.
+type Report struct {
+	// Schema names this format; always "efbench/1".
+	Schema string `json:"schema"`
+	// GoVersion records the toolchain (runtime.Version()).
+	GoVersion string `json:"go_version"`
+	// Quick reports whether workloads were shrunk (-quick).
+	Quick bool `json:"quick"`
+	// Experiments holds one record per experiment run, in run order.
+	Experiments []Experiment `json:"experiments"`
+	// TotalWallSec is the summed wall time of all experiments.
+	TotalWallSec float64 `json:"total_wall_sec"`
+}
+
+// SchemaV1 is the current Report.Schema value.
+const SchemaV1 = "efbench/1"
+
+// Finalize derives the rate and total fields from the raw counts.
+func (r *Report) Finalize() {
+	r.Schema = SchemaV1
+	r.TotalWallSec = 0
+	for i := range r.Experiments {
+		e := &r.Experiments[i]
+		if e.WallSec > 0 {
+			e.DecisionsPerSec = float64(e.Decisions) / e.WallSec
+			e.AllocationsPerSec = float64(e.Allocations) / e.WallSec
+		}
+		if total := e.PlanCacheHits + e.PlanCacheMisses; total > 0 {
+			e.PlanCacheHitRate = float64(e.PlanCacheHits) / float64(total)
+		}
+		r.TotalWallSec += e.WallSec
+	}
+}
+
+// Write encodes the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Read decodes a BENCH.json document and validates its schema tag.
+func Read(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: decoding report: %w", err)
+	}
+	if r.Schema != SchemaV1 {
+		return nil, fmt.Errorf("bench: unknown schema %q (want %q)", r.Schema, SchemaV1)
+	}
+	return &r, nil
+}

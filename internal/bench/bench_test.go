@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestReportRoundTrip: a finalized report survives Write → Read with every
+// field intact, and the derived rates are consistent with the raw counts.
+func TestReportRoundTrip(t *testing.T) {
+	r := &Report{
+		GoVersion: "go1.22",
+		Quick:     true,
+		Experiments: []Experiment{
+			{ID: "fig6a", WallSec: 0.25, Decisions: 120, Allocations: 480, PlanCacheHits: 900, PlanCacheMisses: 100},
+			{ID: "fig7a", WallSec: 2.5, Decisions: 400, Allocations: 4000, PlanCacheHits: 0, PlanCacheMisses: 0},
+		},
+	}
+	r.Finalize()
+
+	if r.Schema != SchemaV1 {
+		t.Fatalf("schema = %q", r.Schema)
+	}
+	if got, want := r.Experiments[0].DecisionsPerSec, 480.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("decisions/sec = %v want %v", got, want)
+	}
+	if got, want := r.Experiments[0].PlanCacheHitRate, 0.9; math.Abs(got-want) > 1e-12 {
+		t.Errorf("hit rate = %v want %v", got, want)
+	}
+	if r.Experiments[1].PlanCacheHitRate != 0 {
+		t.Errorf("zero-traffic hit rate = %v want 0", r.Experiments[1].PlanCacheHitRate)
+	}
+	if got, want := r.TotalWallSec, 2.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("total wall = %v want %v", got, want)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, back) {
+		t.Errorf("round trip mutated the report:\n in  %+v\n out %+v", r, back)
+	}
+}
+
+// TestReadRejectsUnknownSchema guards the additive-only contract: a report
+// stamped with a different schema tag is refused rather than misread.
+func TestReadRejectsUnknownSchema(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"schema":"efbench/999"}`)); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	if _, err := Read(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+// TestJSONFieldNames pins the wire names — renaming a field would silently
+// break historical comparisons.
+func TestJSONFieldNames(t *testing.T) {
+	var buf bytes.Buffer
+	r := &Report{Experiments: []Experiment{{ID: "x"}}}
+	r.Finalize()
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"schema"`, `"go_version"`, `"quick"`, `"experiments"`, `"total_wall_sec"`,
+		`"id"`, `"wall_sec"`, `"decisions"`, `"allocations"`,
+		`"decisions_per_sec"`, `"allocations_per_sec"`,
+		`"plan_cache_hits"`, `"plan_cache_misses"`, `"plan_cache_hit_rate"`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("BENCH.json missing field %s", want)
+		}
+	}
+}

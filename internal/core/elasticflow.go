@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/elasticflow/elasticflow/internal/job"
 	"github.com/elasticflow/elasticflow/internal/obs"
@@ -51,6 +52,12 @@ type Options struct {
 	// plans against G−ReserveGPUs while allocation still uses everything
 	// that is up.
 	ReserveGPUs int
+	// DisablePlanCache turns off the incremental fill-pass cache so every
+	// Admit/Schedule recomputes plans from scratch. Decisions are
+	// byte-identical either way (the cache replays the exact operation
+	// sequence from snapshots); the switch exists for cold-path benchmarks
+	// and the determinism cross-checks.
+	DisablePlanCache bool
 	// Obs, when non-nil, receives decision traces on its event bus: one
 	// "sched-admit" event per admission verdict explaining why (which
 	// feasibility check failed, the victim whose guarantee would break,
@@ -84,11 +91,16 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// ElasticFlow is the scheduler. It is stateless between calls apart from its
-// options: every decision is recomputed from the current job set, exactly as
-// the paper recomputes plans on every scheduling event (§4.2).
+// ElasticFlow is the scheduler. Decisions are pure functions of the current
+// job set, exactly as the paper recomputes plans on every scheduling event
+// (§4.2); the only state between calls is the plan cache, a transparent
+// memo of fill passes that never changes a decision (see plancache.go).
 type ElasticFlow struct {
 	opts Options
+
+	mu     sync.Mutex
+	gen    uint64        // guarded by mu
+	states [2]*fillState // guarded by mu; most recently used first
 }
 
 // New creates an ElasticFlow scheduler. The zero Options select the paper's
@@ -232,6 +244,7 @@ func splitJobs(active []*job.Job) (slo, be []*job.Job) {
 // rejects cand only when cand itself cannot be satisfied or when admitting
 // cand turns a currently satisfiable job unsatisfiable.
 func (e *ElasticFlow) Admit(now float64, cand *job.Job, active []*job.Job, g int) bool {
+	admitDecisions.Add(1)
 	var v admitVerdict
 	if cand.Class != job.SLO {
 		if e.quotaOK(cand) {
@@ -361,28 +374,19 @@ func (e *ElasticFlow) EarliestDeadline(now float64, cand *job.Job, active []*job
 // mirroring their demotion to best-effort in Schedule.
 func (e *ElasticFlow) feasibleSet(now float64, active []*job.Job, cand *job.Job, g int) (map[string]bool, plan.Allocation) {
 	jobs := active
+	skip := ""
 	if cand != nil {
-		jobs = append(append([]*job.Job{}, active...), cand)
+		jobs = append(append(make([]*job.Job, 0, len(active)+1), active...), cand)
+		skip = cand.ID
 	}
 	slo, _ := splitJobs(jobs)
-	f := plan.NewFiller(g, e.opts.SlotSec, e.opts.PowerOfTwo)
+	recs, _ := e.fillPass(now, slo, nil, skip, g)
 	out := make(map[string]bool, len(slo))
 	var candFill plan.Allocation
-	for _, j := range slo {
-		d := e.demand(j, now)
-		a := f.Fill(d)
-		out[j.ID] = a.Satisfied
-		if cand != nil && j.ID == cand.ID {
-			candFill = a
-		}
-		switch {
-		case a.Satisfied:
-			f.Commit(a)
-		case cand == nil || j.ID != cand.ID:
-			// An already-admitted job races to its earliest finish
-			// (see allocate); admission must account for the capacity
-			// that recovery consumes.
-			f.Commit(f.FillEarliest(d, e.opts.HorizonSlots))
+	for i := range recs {
+		out[recs[i].id] = recs[i].satisfied
+		if cand != nil && recs[i].id == cand.ID {
+			candFill = recs[i].fill
 		}
 	}
 	return out, candFill
@@ -591,39 +595,33 @@ func (e *ElasticFlow) Plans(now float64, active []*job.Job, g int) map[string]pl
 // allocate runs Algorithm 2 and returns the final per-job entries plus the
 // number of spare-GPU rounds the greedy loop adopted.
 func (e *ElasticFlow) allocate(now float64, active []*job.Job, g int) ([]*prioJob, int) {
+	allocationRuns.Add(1)
 	slo, be := splitJobs(active)
-	f := plan.NewFiller(g, e.opts.SlotSec, e.opts.PowerOfTwo)
+	// Lines 2–4: commit each SLO job's minimum satisfactory share, in
+	// deadline order, then best-effort jobs on their synthetic horizons —
+	// the memoized fill pass (plancache.go). An admitted job whose deadline
+	// has become unsatisfiable (accumulated rescale/migration overheads ate
+	// its slack, or discretization near the deadline) races to the earliest
+	// possible finish instead: its guarantee already slipped, so the
+	// least-bad outcome is minimal lateness (§4.4 treats expired deadlines
+	// like soft deadlines — still worth finishing, and as soon as
+	// possible). The recovery plan stays ahead of best-effort work.
+	recs, f := e.fillPass(now, slo, be, "", g)
 
 	entries := make([]*prioJob, 0, len(active))
-	// Lines 2–4: commit each SLO job's minimum satisfactory share, in
-	// deadline order. An admitted job whose deadline has become
-	// unsatisfiable (accumulated rescale/migration overheads ate its
-	// slack, or discretization near the deadline) races to the earliest
-	// possible finish instead: its guarantee already slipped, so the
-	// least-bad outcome is minimal lateness (§4.4 treats expired
-	// deadlines like soft deadlines — still worth finishing, and as soon
-	// as possible). The recovery plan stays ahead of best-effort work.
 	late := make([]*prioJob, 0, 2)
-	for _, j := range slo {
-		d := e.demand(j, now)
-		a := f.Fill(d)
-		if !a.Satisfied {
-			a = f.FillEarliest(d, e.opts.HorizonSlots)
-			f.Commit(a)
-			late = append(late, &prioJob{j: j, d: d, cur: a, late: true})
+	for i, j := range slo {
+		r := &recs[i]
+		if !r.satisfied {
+			late = append(late, &prioJob{j: j, d: r.d, cur: r.earliest, late: true})
 			continue
 		}
-		f.Commit(a)
-		entries = append(entries, &prioJob{j: j, d: d, cur: a})
+		entries = append(entries, &prioJob{j: j, d: r.d, cur: r.fill})
 	}
 	entries = append(entries, late...)
-	// Best-effort jobs fill after every deadline-carrying job, with their
-	// infinite deadline realized as a synthetic horizon.
-	for _, j := range be {
-		d := e.demandBestEffort(j)
-		a := f.Fill(d)
-		f.Commit(a)
-		entries = append(entries, &prioJob{j: j, d: d, cur: a, bestEffort: true})
+	for i, j := range be {
+		r := &recs[len(slo)+i]
+		entries = append(entries, &prioJob{j: j, d: r.d, cur: r.fill, bestEffort: true})
 	}
 
 	// Lines 5–11: initial marginal returns.

@@ -36,6 +36,9 @@ type Obs struct {
 	efficiency   *Gauge        // ef_cluster_efficiency
 	decisionSec  *HistogramVec // ef_sched_decision_seconds{op}
 
+	planCacheHits   *Counter // ef_sched_plan_cache_hits_total
+	planCacheMisses *Counter // ef_sched_plan_cache_misses_total
+
 	faults      *CounterVec // ef_faults_injected_total{kind}
 	retries     *Counter    // ef_rpc_retries_total
 	agentDowns  *Counter    // ef_agent_down_total
@@ -82,6 +85,9 @@ func New(opts Options) *Obs {
 		usedGPUs:     m.Gauge("ef_used_gpus", "GPUs currently allocated to running jobs."),
 		efficiency:   m.Gauge("ef_cluster_efficiency", "Cluster efficiency per Eq. 8, last sample."),
 		decisionSec:  m.HistogramVec("ef_sched_decision_seconds", "Scheduler decision latency by operation.", DecisionBuckets, "op"),
+
+		planCacheHits:   m.Counter("ef_sched_plan_cache_hits_total", "Scheduler fill-pass prefix reuses from the plan cache (per job position)."),
+		planCacheMisses: m.Counter("ef_sched_plan_cache_misses_total", "Scheduler fill-pass jobs planned from scratch (per job position)."),
 
 		faults:      m.CounterVec("ef_faults_injected_total", "Faults injected into the control-plane transport, by kind.", "kind"),
 		retries:     m.Counter("ef_rpc_retries_total", "Controller RPC attempts beyond the first (retry policy)."),
@@ -215,6 +221,17 @@ func (o *Obs) IncAcceptError() {
 	}
 	o.acceptErrors.Inc()
 	o.IncError("agent-accept")
+}
+
+// AddPlanCache counts plan-cache outcomes at per-job granularity: hits is
+// the number of job fills reused from a cached prefix, misses the number
+// filled from scratch, in one scheduler pass.
+func (o *Obs) AddPlanCache(hits, misses int) {
+	if o == nil {
+		return
+	}
+	o.planCacheHits.Add(float64(hits))
+	o.planCacheMisses.Add(float64(misses))
 }
 
 // IncFault counts one injected fault by kind ("error", "delay", "drop",

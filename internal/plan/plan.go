@@ -126,6 +126,32 @@ func (f *Filler) ensure(n int) {
 	f.used = grown
 }
 
+// Snapshot is an immutable copy of a Filler's committed usage: cheap to take
+// (one memcpy) and restore relative to re-running progressive filling. The
+// scheduler's plan cache keys incremental replans on snapshots taken between
+// per-job commits, so probing a candidate does not re-fill the already
+// committed prefix.
+type Snapshot struct {
+	used []int
+}
+
+// Slots returns the number of slots the snapshot covers.
+func (s Snapshot) Slots() int { return len(s.used) }
+
+// Snapshot captures the current committed usage.
+func (f *Filler) Snapshot() Snapshot {
+	used := make([]int, len(f.used))
+	copy(used, f.used)
+	return Snapshot{used: used}
+}
+
+// Restore resets the committed usage to a previously taken snapshot. The
+// snapshot stays valid and may be restored any number of times, into any
+// filler with the same capacity and slot duration.
+func (f *Filler) Restore(s Snapshot) {
+	f.used = append(f.used[:0], s.used...)
+}
+
 // Commit reserves the allocation's levels in the filler's usage grid.
 func (f *Filler) Commit(a Allocation) {
 	f.ensure(len(a.Levels))
@@ -171,26 +197,6 @@ func (f *Filler) clampLevel(x int, d Demand) int {
 		return 0
 	}
 	return x
-}
-
-// levelSequence returns the candidate levels progressive filling iterates
-// over: 1,2,3,…,G in unit mode; powers of two in buddy mode.
-func (f *Filler) levelSequence(d Demand) []int {
-	maxJ := f.G
-	if d.MaxGPUs > 0 && d.MaxGPUs < maxJ {
-		maxJ = d.MaxGPUs
-	}
-	var seq []int
-	if f.PowerOfTwo {
-		for j := 1; j <= maxJ; j *= 2 {
-			seq = append(seq, j)
-		}
-	} else {
-		for j := 1; j <= maxJ; j++ {
-			seq = append(seq, j)
-		}
-	}
-	return seq
 }
 
 // Fill runs progressive filling (Algorithm 1's inner procedure) for the
@@ -256,11 +262,19 @@ func (f *Filler) RaiseSlot0(d Demand, cur Allocation, slot0 int) Allocation {
 
 	a := Allocation{Levels: levels, FinishSlot: len(levels)}
 	progress := 0.0
+	// Plans are long runs of equal levels; look up the per-slot throughput
+	// and GPU time once per run. Accumulation stays one addition per slot.
+	lastLv := 0
+	var delta, slotTime float64
 	for t, lv := range levels {
 		if lv == 0 {
 			continue
 		}
-		delta := d.Curve.At(lv) * f.SlotDur
+		if lv != lastLv {
+			delta = d.Curve.At(lv) * f.SlotDur
+			slotTime = float64(lv) * f.SlotDur
+			lastLv = lv
+		}
 		if progress+delta >= d.Remaining-1e-9 {
 			frac := 0.0
 			if delta > 0 {
@@ -280,7 +294,7 @@ func (f *Filler) RaiseSlot0(d Demand, cur Allocation, slot0 int) Allocation {
 			return a
 		}
 		progress += delta
-		a.GPUTime += float64(lv) * f.SlotDur
+		a.GPUTime += slotTime
 	}
 	a.Satisfied = d.Remaining <= 1e-9
 	return a
@@ -303,17 +317,26 @@ func (f *Filler) fill(d Demand, startSlot, fixed0 int) Allocation {
 	// No upfront ensure: FreeAt treats slots beyond the usage grid as
 	// fully free, and Commit grows the grid to the (finish-trimmed) plan.
 
-	seq := f.levelSequence(d)
-	for _, j := range seq {
+	maxJ := f.G
+	if d.MaxGPUs > 0 && d.MaxGPUs < maxJ {
+		maxJ = d.MaxGPUs
+	}
+	lastJ := 0
+	for j := 1; j <= maxJ; j = f.nextLevel(j) {
+		lastJ = j
 		if fin, frac, ok := f.probeLevel(d, j, startSlot, fixed0, horizon); ok {
 			return f.materialize(d, j, startSlot, fixed0, fin, frac)
 		}
 	}
-	maxJ := 0
-	if len(seq) > 0 {
-		maxJ = seq[len(seq)-1]
+	return f.materializeUnsatisfied(d, lastJ, startSlot, fixed0, horizon)
+}
+
+// nextLevel advances the candidate level per the allocation discipline.
+func (f *Filler) nextLevel(j int) int {
+	if f.PowerOfTwo {
+		return j * 2
 	}
-	return f.materializeUnsatisfied(d, maxJ, startSlot, fixed0, horizon)
+	return j + 1
 }
 
 // levelAt returns the worker count level j grants in slot t under the
@@ -333,34 +356,75 @@ func (f *Filler) levelAt(d Demand, j, startSlot, fixed0, t int) int {
 	return f.clampLevel(x, d)
 }
 
+// segEnd returns the exclusive end, capped at horizon, of the maximal run of
+// slots starting at t over which levelAt is constant: the pinned slot 0 is
+// its own run, other pinned slots share one, and past the pin slots group by
+// equal committed usage (slots beyond the usage grid are one fully-free run).
+// Filled plans are long runs of equal usage, so the per-slot level/clamp/
+// curve work in the loops below amortizes to O(1) per slot — one level
+// computation plus an integer comparison per slot of run.
+func (f *Filler) segEnd(t, startSlot, horizon int) int {
+	if t < startSlot {
+		end := startSlot
+		if t == 0 {
+			end = 1
+		}
+		if end > horizon {
+			end = horizon
+		}
+		return end
+	}
+	n := len(f.used)
+	if t >= n {
+		return horizon
+	}
+	u := f.used[t]
+	end := t + 1
+	for end < horizon && end < n && f.used[end] == u {
+		end++
+	}
+	if end == n && u == 0 {
+		// The grid ends inside a zero-usage run; beyond it is free too.
+		end = horizon
+	}
+	return end
+}
+
 // probeLevel walks slots accumulating progress until the demand is met,
 // returning the finish slot and its fractional use. ok is false when the
-// demand cannot complete by the horizon at this level.
+// demand cannot complete by the horizon at this level. Progress accumulates
+// with one addition per slot in slot order — runs only hoist the (identical)
+// level and throughput computation, keeping results bit-identical to a
+// slot-by-slot walk.
 func (f *Filler) probeLevel(d Demand, j, startSlot, fixed0, horizon int) (fin int, frac float64, ok bool) {
 	if d.Remaining <= 1e-9 {
 		return 0, 0, true
 	}
 	progress := 0.0
-	for t := 0; t < horizon; t++ {
+	for t := 0; t < horizon; {
+		end := f.segEnd(t, startSlot, horizon)
 		x := f.levelAt(d, j, startSlot, fixed0, t)
 		if x == 0 {
+			t = end
 			continue
 		}
 		delta := d.Curve.At(x) * f.SlotDur
-		if progress+delta >= d.Remaining-1e-9 {
-			fr := 0.0
-			if delta > 0 {
-				fr = (d.Remaining - progress) / delta
-				if fr < 0 {
-					fr = 0
+		for ; t < end; t++ {
+			if progress+delta >= d.Remaining-1e-9 {
+				fr := 0.0
+				if delta > 0 {
+					fr = (d.Remaining - progress) / delta
+					if fr < 0 {
+						fr = 0
+					}
+					if fr > 1 {
+						fr = 1
+					}
 				}
-				if fr > 1 {
-					fr = 1
-				}
+				return t, fr, true
 			}
-			return t, fr, true
+			progress += delta
 		}
-		progress += delta
 	}
 	return horizon, 0, false
 }
@@ -371,13 +435,18 @@ func (f *Filler) probeLevel(d Demand, j, startSlot, fixed0, horizon int) (fin in
 func (f *Filler) materialize(d Demand, j, startSlot, fixed0, fin int, frac float64) Allocation {
 	levels := make([]int, fin+1)
 	gpuTime := 0.0
-	for t := 0; t <= fin; t++ {
+	for t := 0; t <= fin; {
+		end := f.segEnd(t, startSlot, fin+1)
 		x := f.levelAt(d, j, startSlot, fixed0, t)
-		levels[t] = x
-		if t < fin {
-			gpuTime += float64(x) * f.SlotDur
-		} else {
-			gpuTime += float64(x) * frac * f.SlotDur
+		slotTime := float64(x) * f.SlotDur
+		finTime := float64(x) * frac * f.SlotDur
+		for ; t < end; t++ {
+			levels[t] = x
+			if t < fin {
+				gpuTime += slotTime
+			} else {
+				gpuTime += finTime
+			}
 		}
 	}
 	if d.Remaining <= 1e-9 {
@@ -393,10 +462,14 @@ func (f *Filler) materialize(d Demand, j, startSlot, fixed0, fin int, frac float
 func (f *Filler) materializeUnsatisfied(d Demand, j, startSlot, fixed0, horizon int) Allocation {
 	levels := make([]int, horizon)
 	gpuTime := 0.0
-	for t := 0; t < horizon; t++ {
+	for t := 0; t < horizon; {
+		end := f.segEnd(t, startSlot, horizon)
 		x := f.levelAt(d, j, startSlot, fixed0, t)
-		levels[t] = x
-		gpuTime += float64(x) * f.SlotDur
+		slotTime := float64(x) * f.SlotDur
+		for ; t < end; t++ {
+			levels[t] = x
+			gpuTime += slotTime
+		}
 	}
 	if d.Remaining <= 1e-9 {
 		return Allocation{Levels: make([]int, horizon), Satisfied: true, FinishSlot: 0, GPUTime: 0}

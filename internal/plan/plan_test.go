@@ -334,3 +334,194 @@ func TestRaiseSlot0(t *testing.T) {
 		t.Errorf("raise of empty plan = %+v", alt3)
 	}
 }
+
+// refFill is the pre-run-segment slot-by-slot progressive filling, kept as a
+// reference oracle: the production fill hoists level and throughput lookups
+// across equal-usage runs and must stay bit-identical to this walk.
+func refFill(f *Filler, d Demand, startSlot, fixed0 int) Allocation {
+	horizon := d.DeadlineSlot
+	if horizon < 0 {
+		horizon = 0
+	}
+	maxJ := f.G
+	if d.MaxGPUs > 0 && d.MaxGPUs < maxJ {
+		maxJ = d.MaxGPUs
+	}
+	probe := func(j int) (int, float64, bool) {
+		if d.Remaining <= 1e-9 {
+			return 0, 0, true
+		}
+		progress := 0.0
+		for t := 0; t < horizon; t++ {
+			x := f.levelAt(d, j, startSlot, fixed0, t)
+			if x == 0 {
+				continue
+			}
+			delta := d.Curve.At(x) * f.SlotDur
+			if progress+delta >= d.Remaining-1e-9 {
+				fr := 0.0
+				if delta > 0 {
+					fr = (d.Remaining - progress) / delta
+					if fr < 0 {
+						fr = 0
+					}
+					if fr > 1 {
+						fr = 1
+					}
+				}
+				return t, fr, true
+			}
+			progress += delta
+		}
+		return horizon, 0, false
+	}
+	lastJ := 0
+	for j := 1; j <= maxJ; j = f.nextLevel(j) {
+		lastJ = j
+		if fin, frac, ok := probe(j); ok {
+			levels := make([]int, fin+1)
+			gpuTime := 0.0
+			for t := 0; t <= fin; t++ {
+				x := f.levelAt(d, j, startSlot, fixed0, t)
+				levels[t] = x
+				if t < fin {
+					gpuTime += float64(x) * f.SlotDur
+				} else {
+					gpuTime += float64(x) * frac * f.SlotDur
+				}
+			}
+			if d.Remaining <= 1e-9 {
+				levels = nil
+				gpuTime = 0
+			}
+			return Allocation{Levels: levels, Satisfied: true, FinishSlot: fin, FinishFrac: frac, GPUTime: gpuTime}
+		}
+	}
+	levels := make([]int, horizon)
+	gpuTime := 0.0
+	for t := 0; t < horizon; t++ {
+		x := f.levelAt(d, lastJ, startSlot, fixed0, t)
+		levels[t] = x
+		gpuTime += float64(x) * f.SlotDur
+	}
+	if d.Remaining <= 1e-9 {
+		return Allocation{Levels: make([]int, horizon), Satisfied: true, FinishSlot: 0, GPUTime: 0}
+	}
+	return Allocation{Levels: levels, Satisfied: false, FinishSlot: horizon, GPUTime: gpuTime}
+}
+
+func allocEqual(a, b Allocation) bool {
+	if a.Satisfied != b.Satisfied || a.FinishSlot != b.FinishSlot ||
+		a.FinishFrac != b.FinishFrac || a.GPUTime != b.GPUTime ||
+		len(a.Levels) != len(b.Levels) {
+		return false
+	}
+	for i := range a.Levels {
+		if a.Levels[i] != b.Levels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRunFillMatchesSlotBySlot cross-checks the run-segment fill against the
+// slot-by-slot oracle over randomized usage grids, curves, pins, and both
+// allocation disciplines — Levels, FinishFrac, and GPUTime must be
+// bit-identical, not merely close.
+func TestRunFillMatchesSlotBySlot(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	curves := []throughput.Curve{
+		fig4Curve(),
+		throughput.MustCurve(map[int]float64{1: 0.7, 2: 1.2, 4: 1.9, 8: 2.4}),
+		throughput.MustCurve(map[int]float64{2: 1, 4: 1.3}),
+	}
+	for i := 0; i < 3000; i++ {
+		g := 1 << rng.Intn(5) // 1..16 GPUs
+		f := NewFiller(g, 0.5+rng.Float64(), rng.Intn(2) == 0)
+		// Random committed usage with runs and spikes.
+		n := rng.Intn(20)
+		used := make([]int, n)
+		for t := 0; t < n; {
+			u := rng.Intn(g + 1)
+			end := t + 1 + rng.Intn(6)
+			for ; t < n && t < end; t++ {
+				used[t] = u
+			}
+		}
+		f.used = used
+		d := Demand{
+			Curve:        curves[rng.Intn(len(curves))],
+			Remaining:    rng.Float64() * 20,
+			DeadlineSlot: rng.Intn(30),
+			MinGPUs:      1 + rng.Intn(2),
+			MaxGPUs:      rng.Intn(2) * (1 << rng.Intn(4)),
+		}
+		startSlot, fixed0 := 0, -1
+		if rng.Intn(2) == 0 {
+			startSlot, fixed0 = 1, rng.Intn(g+1)
+		}
+		got := f.fill(d, startSlot, fixed0)
+		want := refFill(f, d, startSlot, fixed0)
+		if !allocEqual(got, want) {
+			t.Fatalf("case %d: fill mismatch\n grid=%v d=%+v start=%d fixed0=%d\n got  %+v\n want %+v",
+				i, f.used, d, startSlot, fixed0, got, want)
+		}
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	f := NewFiller(8, 1, true)
+	f.Commit(Allocation{Levels: []int{2, 2, 1}})
+	snap := f.Snapshot()
+	if snap.Slots() != 3 {
+		t.Fatalf("snapshot slots = %d want 3", snap.Slots())
+	}
+
+	a := f.Fill(Demand{Curve: fig4Curve(), Remaining: 6, DeadlineSlot: 6, MinGPUs: 1})
+	f.Commit(a)
+	longer := f.Fill(Demand{Curve: fig4Curve(), Remaining: 8, DeadlineSlot: 10, MinGPUs: 1})
+	f.Commit(longer)
+
+	f.Restore(snap)
+	for t2 := 0; t2 < 12; t2++ {
+		want := 0
+		if t2 < 2 {
+			want = 2
+		} else if t2 == 2 {
+			want = 1
+		}
+		if got := f.UsedAt(t2); got != want {
+			t.Fatalf("after restore UsedAt(%d) = %d want %d", t2, got, want)
+		}
+	}
+
+	// The snapshot survives the restore and mutating the filler afterwards.
+	f.Commit(Allocation{Levels: []int{4, 4, 4, 4}})
+	f.Restore(snap)
+	if f.UsedAt(0) != 2 || f.UsedAt(3) != 0 {
+		t.Fatalf("second restore: used=%v", f.used)
+	}
+
+	// Restoring into a fresh filler reproduces the same fills.
+	f2 := NewFiller(8, 1, true)
+	f2.Restore(snap)
+	d := Demand{Curve: fig4Curve(), Remaining: 5, DeadlineSlot: 8, MinGPUs: 1}
+	if got, want := f2.Fill(d), f.Fill(d); !allocEqual(got, want) {
+		t.Fatalf("restored filler fills differ: %+v vs %+v", got, want)
+	}
+}
+
+// TestRestoreShrinksGrid ensures Restore truncates usage committed after the
+// snapshot even when the grid grew past the snapshot's length.
+func TestRestoreShrinksGrid(t *testing.T) {
+	f := NewFiller(4, 1, false)
+	snap := f.Snapshot() // empty
+	f.Commit(Allocation{Levels: []int{1, 2, 3, 2, 1}})
+	f.Restore(snap)
+	if f.TotalCommitted() != 0 {
+		t.Fatalf("restore of empty snapshot left usage: %v", f.used)
+	}
+	if got := f.FreeAt(2); got != 4 {
+		t.Fatalf("FreeAt(2) = %d want 4", got)
+	}
+}

@@ -30,3 +30,21 @@ type Scheduler interface {
 	// scheduling event (arrival, completion, or requested wake-up).
 	Schedule(now float64, active []*job.Job, g int) Decision
 }
+
+// PlanCached is the optional interface of schedulers that memoize planning
+// state between calls (e.g. core.ElasticFlow's fill-pass cache). Engines
+// call InvalidatePlanCache on exogenous events the job set does not reflect
+// — node failures and recoveries — so stale plans are never replayed. Job
+// arrivals, completions, progress, and rescales need no call; caching
+// schedulers must detect those from the job state itself.
+type PlanCached interface {
+	InvalidatePlanCache()
+}
+
+// Invalidate calls InvalidatePlanCache when s memoizes planning state, and
+// is a no-op for stateless schedulers.
+func Invalidate(s Scheduler) {
+	if pc, ok := s.(PlanCached); ok {
+		pc.InvalidatePlanCache()
+	}
+}

@@ -71,6 +71,7 @@ func (p *Platform) NodeDown(server int) ([]string, error) {
 	}
 	p.down[server] = true
 	p.downGPUs += p.cluster.Config().GPUsPerServer
+	p.ef.InvalidatePlanCache()
 	p.obs.Event(now, obs.KindFailure, "",
 		obs.F("server", server), obs.F("evicted", len(evicted)))
 	p.recheckGuaranteesLocked(now)
@@ -96,6 +97,7 @@ func (p *Platform) NodeUp(server int) error {
 	}
 	delete(p.down, server)
 	p.downGPUs -= p.cluster.Config().GPUsPerServer
+	p.ef.InvalidatePlanCache()
 	p.obs.Event(now, obs.KindRecovery, "", obs.F("server", server))
 	p.recheckGuaranteesLocked(now)
 	p.rescheduleLocked(now)

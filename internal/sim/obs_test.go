@@ -139,3 +139,36 @@ func TestObsLegacyEventParity(t *testing.T) {
 		}
 	}
 }
+
+// TestPlanCacheGoldenTrail extends the golden determinism check to the plan
+// cache: a full simulated run with the cache enabled (the default) must
+// produce a byte-identical Result — every event, allocation, completion time
+// and metric-bearing field — to the same run with the cache disabled,
+// including across node failures that invalidate mid-run.
+func TestPlanCacheGoldenTrail(t *testing.T) {
+	run := func(disable bool) Result {
+		ef := core.New(core.Options{SlotSec: 1, PowerOfTwo: true, DisablePlanCache: disable})
+		res, err := Run(Config{
+			Topology:     smallTopology(),
+			Scheduler:    ef,
+			RecordEvents: true,
+			SampleSec:    25,
+			Failures:     []Failure{{Server: 0, StartSec: 60, DurationSec: 120}},
+		}, obsTrace(), "golden")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cached, err := json.Marshal(run(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := json.Marshal(run(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cached) != string(cold) {
+		t.Errorf("Result differs with plan cache enabled:\ncached: %s\ncold:   %s", cached, cold)
+	}
+}

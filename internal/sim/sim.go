@@ -507,6 +507,10 @@ func (e *engine) applyFailures() bool {
 		}
 		changed = true
 	}
+	if changed {
+		// Node capacity moved under the scheduler; drop any memoized plans.
+		sched.Invalidate(e.sched)
+	}
 	return changed
 }
 

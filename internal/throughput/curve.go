@@ -2,7 +2,9 @@ package throughput
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 
 	"github.com/elasticflow/elasticflow/internal/model"
 )
@@ -16,7 +18,24 @@ import (
 type Curve struct {
 	workers []int           // sorted power-of-two worker counts
 	tput    map[int]float64 // iterations/sec at each count
+	// at memoizes the step interpolation of At: at[g] is the throughput of
+	// the largest defined count ≤ g, so the scheduler's inner loops pay one
+	// bounds check and an array load instead of a binary search plus a map
+	// access. Built once at construction; curves are immutable afterwards.
+	// Nil when the maximum count exceeds maxDenseWorkers (degenerate curves
+	// from fuzzing); At then falls back to the binary search.
+	at []float64
+	// fp is a content hash of the curve's points, computed once at
+	// construction. The scheduler's plan cache folds it into job
+	// fingerprints so two jobs with equal mutable state but different
+	// scaling behavior never share a cached fill.
+	fp uint64
 }
+
+// maxDenseWorkers bounds the memoized interpolation table. Real clusters top
+// out at a few hundred GPUs per job; anything larger is a synthetic curve not
+// worth a dense table.
+const maxDenseWorkers = 1 << 14
 
 // NewCurve builds a curve from a worker-count → throughput map. Counts must
 // be positive (the profiler produces power-of-two points, matching buddy
@@ -38,6 +57,29 @@ func NewCurve(points map[int]float64) (Curve, error) {
 		c.tput[g] = t
 	}
 	sort.Ints(c.workers)
+	c.fp = 14695981039346656037 // FNV-1a 64-bit offset basis
+	hash := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			c.fp ^= (v >> s) & 0xff
+			c.fp *= 1099511628211
+		}
+	}
+	for _, g := range c.workers {
+		hash(uint64(g))
+		hash(math.Float64bits(c.tput[g]))
+	}
+	if maxW := c.workers[len(c.workers)-1]; maxW <= maxDenseWorkers {
+		c.at = make([]float64, maxW+1)
+		for i, g := range c.workers {
+			hi := maxW
+			if i+1 < len(c.workers) {
+				hi = c.workers[i+1] - 1
+			}
+			for k := g; k <= hi; k++ {
+				c.at[k] = c.tput[g]
+			}
+		}
+	}
 	return c, nil
 }
 
@@ -49,6 +91,11 @@ func MustCurve(points map[int]float64) Curve {
 	}
 	return c
 }
+
+// Fingerprint returns a content hash of the curve's points (0 only for the
+// zero Curve). Equal curves hash equal; distinct curves collide with
+// ordinary 64-bit FNV probability.
+func (c Curve) Fingerprint() uint64 { return c.fp }
 
 // Workers returns the worker counts the curve is defined on, ascending.
 func (c Curve) Workers() []int {
@@ -79,6 +126,12 @@ func (c Curve) MaxWorkers() int {
 func (c Curve) At(g int) float64 {
 	if g <= 0 || len(c.workers) == 0 {
 		return 0
+	}
+	if c.at != nil {
+		if g >= len(c.at) {
+			g = len(c.at) - 1 // above the maximum defined count: saturate
+		}
+		return c.at[g] // 0 below the curve's minimum feasible worker count
 	}
 	// Find the largest defined count ≤ g.
 	i := sort.SearchInts(c.workers, g+1) - 1
@@ -196,15 +249,49 @@ func (c Curve) Truncate(lo, hi int) Curve {
 	return out
 }
 
+// buildKey identifies one memoized BuildCurve result: the estimator's
+// hardware constants plus everything that shapes the curve. Specs are keyed
+// by name + batch, the same identity the profiler cache uses.
+type buildKey struct {
+	est         Estimator
+	spec        string
+	globalBatch int
+	perServer   int
+	maxWorkers  int
+}
+
+var (
+	buildMu   sync.Mutex
+	buildMemo = map[buildKey]Curve{} // guarded by buildMu
+)
+
 // BuildCurve computes the scaling curve of (spec, globalBatch) on a cluster
 // whose servers hold perServer GPUs, for power-of-two worker counts from
 // spec.MinWorkers (memory feasibility) through maxWorkers, each under the
 // best placement of that size. It stops early once throughput declines, as
 // the paper's profiler does (§6.6).
+//
+// Results are memoized per (hardware, spec, batch, placement geometry): the
+// simulator and the experiment harness rebuild identical curves millions of
+// times, and curves are immutable, so one computation serves them all.
 func BuildCurve(e Estimator, spec model.Spec, globalBatch, perServer, maxWorkers int) (Curve, error) {
-	return BuildCurveFunc(e, spec, globalBatch, maxWorkers, func(g int) Placement {
+	key := buildKey{e, spec.Name, globalBatch, perServer, maxWorkers}
+	buildMu.Lock()
+	if c, ok := buildMemo[key]; ok {
+		buildMu.Unlock()
+		return c, nil
+	}
+	buildMu.Unlock()
+	c, err := BuildCurveFunc(e, spec, globalBatch, maxWorkers, func(g int) Placement {
 		return BestPlacement(g, perServer)
 	})
+	if err != nil {
+		return Curve{}, err
+	}
+	buildMu.Lock()
+	buildMemo[key] = c
+	buildMu.Unlock()
+	return c, nil
 }
 
 // BuildCurveFunc is BuildCurve with an arbitrary placement rule per worker

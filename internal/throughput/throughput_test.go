@@ -380,3 +380,69 @@ func TestCachedProfiles(t *testing.T) {
 		t.Error("CachedProfiles not sorted")
 	}
 }
+
+// TestAtDenseMatchesSearch cross-checks the memoized interpolation table
+// against the binary-search fallback on sparse and dense curves, including
+// counts below the floor, between points, and beyond the maximum.
+func TestAtDenseMatchesSearch(t *testing.T) {
+	for _, pts := range []map[int]float64{
+		{1: 1, 2: 1.8, 4: 3.1, 8: 4.8},
+		{2: 5},
+		{3: 1, 7: 2, 100: 9},
+	} {
+		c := MustCurve(pts)
+		if c.at == nil {
+			t.Fatalf("curve %v missing dense table", pts)
+		}
+		slow := c
+		slow.at = nil // force the search path
+		for g := -1; g <= c.MaxWorkers()+5; g++ {
+			if got, want := c.At(g), slow.At(g); got != want {
+				t.Errorf("At(%d)=%g want %g (curve %v)", g, got, want, pts)
+			}
+		}
+	}
+}
+
+// TestAtHugeCurveSkipsDenseTable guards the memory cap: a curve with an
+// absurd worker count must not allocate a proportional table.
+func TestAtHugeCurveSkipsDenseTable(t *testing.T) {
+	c := MustCurve(map[int]float64{1: 1, 1 << 30: 2})
+	if c.at != nil {
+		t.Fatal("dense table built for a 2^30-worker curve")
+	}
+	if got := c.At(1 << 20); got != 1 {
+		t.Errorf("At(2^20)=%g want 1", got)
+	}
+	if got := c.At(1 << 31); got != 2 {
+		t.Errorf("At(2^31)=%g want 2", got)
+	}
+}
+
+// TestBuildCurveMemoized asserts repeated BuildCurve calls return identical
+// curves without re-estimating (the memo is keyed on hardware + spec + batch
+// + geometry, so a different batch misses).
+func TestBuildCurveMemoized(t *testing.T) {
+	e := defaultEstimator()
+	spec := model.MustByName("resnet50")
+	c1, err := BuildCurve(e, spec, 256, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := BuildCurve(e, spec, 256, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 1; g <= 64; g++ {
+		if c1.At(g) != c2.At(g) {
+			t.Fatalf("memoized curve diverges at g=%d", g)
+		}
+	}
+	c3, err := BuildCurve(e, spec, 128, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.At(c3.MinWorkers()) == 0 {
+		t.Fatal("different-batch curve empty")
+	}
+}
