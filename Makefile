@@ -7,7 +7,7 @@ GO ?= go
 # The wall-time-gated benchmarks CI compares between the PR base and head.
 BENCH_GATE = BenchmarkFig6aTestbedSmall|BenchmarkFig7aAllocationTimeline
 
-.PHONY: all build test vet lint race fuzz-smoke obs-check faults-check ci ci-sync-check bench bench-base
+.PHONY: all build test vet lint race fuzz-smoke obs-check faults-check store-check ci ci-sync-check bench bench-base
 
 all: build test
 
@@ -41,6 +41,7 @@ race:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzFill -fuzztime=10s ./internal/plan/
 	$(GO) test -run=^$$ -fuzz=FuzzAdmissionControl -fuzztime=10s ./internal/core/
+	$(GO) test -run=^$$ -fuzz=FuzzJournalRoundTrip -fuzztime=10s ./internal/store/
 
 # obs-check exercises the observability core under the race detector (the
 # bus and registry are the only pieces shared across goroutines by design)
@@ -58,7 +59,16 @@ faults-check:
 	$(GO) test -race ./internal/faults/ ./internal/agent/ ./internal/cluster/
 	$(GO) run ./cmd/eflint ./internal/faults/ ./internal/agent/ ./internal/cluster/
 
-ci: build vet lint race fuzz-smoke obs-check faults-check
+# store-check exercises the durable control plane (DESIGN.md §11) under the
+# race detector: the journal + snapshot store itself, the serverless
+# record-then-apply path with its crash-restart equality test, and the
+# efserver SIGKILL/restart end-to-end, then lints those packages with the
+# repo's analyzers.
+store-check:
+	$(GO) test -race ./internal/store/ ./internal/serverless/ ./cmd/efserver/
+	$(GO) run ./cmd/eflint ./internal/store/ ./internal/serverless/ ./cmd/efserver/
+
+ci: build vet lint race fuzz-smoke obs-check faults-check store-check
 
 # bench runs the gated benchmarks and, when a baseline exists, applies the
 # same regression gate CI does. Capture the baseline on the base commit with

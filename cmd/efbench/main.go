@@ -49,7 +49,9 @@ func main() {
 	if *exp != "" {
 		ids = strings.Split(*exp, ",")
 	}
-	opts := experiments.Options{Quick: *quick}
+	// efbench is the measurement harness, so it injects the real wall clock;
+	// the experiments package itself stays deterministic (detlint-enforced).
+	opts := experiments.Options{Quick: *quick, Clock: time.Now}
 	report := &bench.Report{GoVersion: runtime.Version(), Quick: *quick}
 	for _, id := range ids {
 		gen, ok := experiments.Registry[id]
@@ -75,6 +77,7 @@ func main() {
 			Allocations:     allocs,
 			PlanCacheHits:   hits,
 			PlanCacheMisses: misses,
+			Metrics:         table.Metrics,
 		})
 		fmt.Println(table)
 		fmt.Printf("(%s took %.1fs)\n\n", id, wall)

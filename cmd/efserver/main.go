@@ -4,7 +4,7 @@
 // Usage:
 //
 //	efserver [-addr :8080] [-servers 2] [-gpus-per-server 8] [-timescale 1]
-//	         [-chaos 1@30s+60s]
+//	         [-state-dir DIR] [-snapshot-every 256] [-chaos 1@30s+60s,kill@90s]
 //
 // Submit a training function with:
 //
@@ -12,14 +12,23 @@
 //	  "model": "resnet50", "global_batch": 128,
 //	  "iterations": 100000, "deadline_seconds": 3600}'
 //
+// -state-dir makes the control plane durable (DESIGN.md §11): every mutation
+// is journaled before it is acknowledged, periodic snapshots truncate the
+// journal (-snapshot-every records), and a restart pointing at the same
+// directory recovers the exact pre-crash state — admitted jobs keep their
+// deadlines, and the platform clock resumes where it stopped.
+//
 // -chaos takes a comma-separated failure schedule in platform time:
 // "1@30s+60s" fails server 1 at t=30s and recovers it 60s later (omit the
-// +duration to leave it down). Server failures are also injectable at
-// runtime via POST /v1/cluster/servers/{id}/down and .../up.
+// +duration to leave it down); "kill@90s" SIGKILLs the whole process at
+// t=90s — the crash half of a durability drill, restart it against the same
+// -state-dir to run the recovery half. Server failures are also injectable
+// at runtime via POST /v1/cluster/servers/{id}/down and .../up.
 //
 // Observability: GET /metrics serves Prometheus text exposition and
 // GET /debug/events?since=<seq> the structured scheduler event log.
-// SIGINT/SIGTERM drain in-flight requests before exiting.
+// SIGINT/SIGTERM flush the journal, then drain in-flight requests; mutations
+// arriving after the flush begins are rejected with 503.
 package main
 
 import (
@@ -27,7 +36,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,18 +49,21 @@ import (
 	"time"
 
 	"github.com/elasticflow/elasticflow/internal/serverless"
+	"github.com/elasticflow/elasticflow/internal/store"
 	"github.com/elasticflow/elasticflow/internal/topology"
 )
 
-// chaosEvent is one scheduled server state flip, in platform seconds.
+// chaosEvent is one scheduled chaos action, in platform seconds: a server
+// state flip, or (kill) a SIGKILL of the whole process.
 type chaosEvent struct {
 	at     float64
 	server int
 	down   bool
+	kill   bool
 }
 
-// parseChaos parses "server@start[+duration]" entries, comma-separated,
-// into a time-ordered event list.
+// parseChaos parses "server@start[+duration]" and "kill@start" entries,
+// comma-separated, into a time-ordered event list.
 func parseChaos(spec string) ([]chaosEvent, error) {
 	var evs []chaosEvent
 	for _, part := range strings.Split(spec, ",") {
@@ -59,7 +73,15 @@ func parseChaos(spec string) ([]chaosEvent, error) {
 		}
 		srvStr, when, ok := strings.Cut(part, "@")
 		if !ok {
-			return nil, fmt.Errorf("chaos entry %q: want server@start[+duration]", part)
+			return nil, fmt.Errorf("chaos entry %q: want server@start[+duration] or kill@start", part)
+		}
+		if srvStr == "kill" {
+			start, err := time.ParseDuration(when)
+			if err != nil {
+				return nil, fmt.Errorf("chaos entry %q: bad start: %w", part, err)
+			}
+			evs = append(evs, chaosEvent{at: start.Seconds(), kill: true})
+			continue
 		}
 		server, err := strconv.Atoi(srvStr)
 		if err != nil {
@@ -83,24 +105,52 @@ func parseChaos(spec string) ([]chaosEvent, error) {
 	return evs, nil
 }
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	servers := flag.Int("servers", 2, "virtual servers (power of two)")
-	perServer := flag.Int("gpus-per-server", 8, "GPUs per server (power of two)")
-	timescale := flag.Float64("timescale", 1, "platform seconds per wall second")
-	chaos := flag.String("chaos", "", "server failure schedule, e.g. 1@30s+60s (platform time)")
-	flag.Parse()
+// buildPlatform constructs the platform, durable when stateDir is set: a
+// directory holding recovered state resumes through the journal replay path,
+// an empty one starts fresh — callers never have to care which.
+func buildPlatform(opts serverless.Options, stateDir string, snapEvery int) (*serverless.Platform, error) {
+	if stateDir == "" {
+		return serverless.NewPlatform(opts)
+	}
+	st, err := store.Open(stateDir, store.Options{Obs: opts.Obs})
+	if err != nil {
+		return nil, err
+	}
+	opts.Store = st
+	opts.SnapshotEvery = snapEvery
+	if st.HasState() {
+		return serverless.Recover(opts)
+	}
+	return serverless.NewPlatform(opts)
+}
+
+// run is the whole server, factored out of main so the crash-restart e2e can
+// re-exec it: parse args, build (or recover) the platform, serve until a
+// signal, then flush the journal and drain. The listen address actually
+// bound (addr may be ":0") is announced on stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("efserver", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	servers := fs.Int("servers", 2, "virtual servers (power of two)")
+	perServer := fs.Int("gpus-per-server", 8, "GPUs per server (power of two)")
+	timescale := fs.Float64("timescale", 1, "platform seconds per wall second")
+	chaos := fs.String("chaos", "", "chaos schedule, e.g. 1@30s+60s,kill@90s (platform time)")
+	stateDir := fs.String("state-dir", "", "directory for the durable journal + snapshots (empty: in-memory only)")
+	snapEvery := fs.Int("snapshot-every", 256, "journal records between snapshots (with -state-dir; 0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	schedule, err := parseChaos(*chaos)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	p, err := serverless.NewPlatform(serverless.Options{
+	p, err := buildPlatform(serverless.Options{
 		Topology:  topology.Config{Servers: *servers, GPUsPerServer: *perServer},
 		TimeScale: *timescale,
-	})
+	}, *stateDir, *snapEvery)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -123,14 +173,22 @@ func main() {
 				for len(schedule) > 0 && schedule[0].at <= now {
 					ev := schedule[0]
 					schedule = schedule[1:]
-					if ev.down {
+					switch {
+					case ev.kill:
+						// The crash half of a durability drill: no flush, no
+						// drain — the journal alone must carry the state.
+						log.Printf("chaos: SIGKILL at t=%.0fs", now)
+						if err := syscall.Kill(os.Getpid(), syscall.SIGKILL); err != nil {
+							log.Printf("chaos: kill: %v", err)
+						}
+					case ev.down:
 						evicted, err := p.NodeDown(ev.server)
 						if err != nil {
 							log.Printf("chaos: server %d down: %v", ev.server, err)
 							continue
 						}
 						log.Printf("chaos: server %d down at t=%.0fs (evicted %d jobs)", ev.server, now, len(evicted))
-					} else {
+					default:
 						if err := p.NodeUp(ev.server); err != nil {
 							log.Printf("chaos: server %d up: %v", ev.server, err)
 							continue
@@ -143,21 +201,32 @@ func main() {
 		}
 	}()
 
-	srv := &http.Server{Addr: *addr, Handler: serverless.Handler(p)}
-	fmt.Printf("efserver: %d GPUs, timescale %.0fx, listening on %s (metrics on /metrics, events on /debug/events)\n",
-		*servers**perServer, *timescale, *addr)
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		stop()
+		<-tickerDone
+		return err
+	}
+	srv := &http.Server{Handler: serverless.Handler(p)}
+	fmt.Fprintf(stdout, "efserver: %d GPUs, timescale %.0fx, listening on %s (metrics on /metrics, events on /debug/events)\n",
+		*servers**perServer, *timescale, l.Addr())
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.ListenAndServe() }()
+	go func() { serveErr <- srv.Serve(l) }()
 
 	select {
 	case err := <-serveErr:
-		// Listener failed before any signal (e.g. port in use).
+		// Listener failed before any signal.
 		stop()
 		<-tickerDone
-		log.Fatal(err)
+		return err
 	case <-ctx.Done():
 	}
 	log.Print("efserver: shutting down")
+	// Flush the journal first: from here on mutations are rejected with 503
+	// (the write would not be durable), while reads keep draining below.
+	if err := p.Shutdown(); err != nil {
+		log.Printf("efserver: journal flush: %v", err)
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -167,4 +236,11 @@ func main() {
 		log.Printf("efserver: serve: %v", err)
 	}
 	<-tickerDone
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/elasticflow/elasticflow/internal/serverless"
+)
+
+// TestMain doubles as the child entry point of the crash-restart e2e: when
+// the env marker is set, the test binary runs the real server instead of the
+// test suite — the same re-exec idiom exec tests use.
+func TestMain(m *testing.M) {
+	if os.Getenv("EFSERVER_E2E_CHILD") == "1" {
+		if err := run(strings.Fields(os.Getenv("EFSERVER_E2E_ARGS")), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func TestParseChaos(t *testing.T) {
+	evs, err := parseChaos("1@30s+60s,kill@90s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []chaosEvent{
+		{at: 30, server: 1, down: true},
+		{at: 90, server: 1, down: false},
+		{at: 90, kill: true},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(evs), len(want), evs)
+	}
+	for i, ev := range evs {
+		if ev != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, ev, want[i])
+		}
+	}
+	for _, bad := range []string{"kill", "kill@", "x@30s", "1@30s+x", "1@"} {
+		if _, err := parseChaos(bad); err == nil {
+			t.Errorf("parseChaos(%q) accepted garbage", bad)
+		}
+	}
+}
+
+var listenRe = regexp.MustCompile(`listening on (\S+)`)
+
+// startChild re-execs the test binary as an efserver with the given args and
+// returns the command plus the address it bound.
+func startChild(t *testing.T, args string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "EFSERVER_E2E_CHILD=1", "EFSERVER_E2E_ARGS="+args)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if m := listenRe.FindStringSubmatch(sc.Text()); m != nil {
+			// Keep draining stdout so the child never blocks on a full pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return cmd, m[1]
+		}
+	}
+	_ = cmd.Process.Kill()
+	t.Fatalf("child exited without announcing a listen address")
+	return nil, ""
+}
+
+func getJobs(t *testing.T, addr string) []serverless.JobStatus {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jobs []serverless.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// TestCrashRestartEndToEnd is the full durability drill over the real
+// binary: a server journaling into -state-dir is SIGKILLed mid-run by its
+// own chaos schedule, a second incarnation recovers from the same directory,
+// and the job admitted before the crash must complete within its original
+// deadline — an acknowledged admission survives the kill with its guarantee
+// intact.
+func TestCrashRestartEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-restart e2e spawns real processes")
+	}
+	dir := t.TempDir()
+	base := "-addr 127.0.0.1:0 -servers 2 -gpus-per-server 4 -timescale 50 -snapshot-every 64 -state-dir " + dir
+
+	child1, addr := startChild(t, base+" -chaos kill@150s")
+	defer func() { _ = child1.Process.Kill() }()
+
+	// Admit one SLO job before the kill fires (t=150s platform = 3s wall).
+	body, _ := json.Marshal(serverless.SubmitRequest{
+		Model: "resnet50", GlobalBatch: 64, Iterations: 2000, DeadlineSeconds: 600,
+	})
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admitted serverless.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&admitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d, job %+v", resp.StatusCode, admitted)
+	}
+
+	// The chaos schedule SIGKILLs the child: no flush, no drain.
+	err = child1.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("child exited cleanly (%v), expected SIGKILL", err)
+	}
+	if ws, ok := ee.Sys().(syscall.WaitStatus); !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("child died of %v, expected SIGKILL", ee)
+	}
+
+	// Restart against the same state directory: the journal alone must
+	// reconstruct the admission.
+	child2, addr2 := startChild(t, base)
+	defer func() { _ = child2.Process.Kill() }()
+
+	jobs := getJobs(t, addr2)
+	if len(jobs) != 1 || jobs[0].ID != admitted.ID {
+		t.Fatalf("recovered jobs = %+v, want exactly %s", jobs, admitted.ID)
+	}
+	if jobs[0].State == "dropped" {
+		t.Fatal("recovery revoked the admitted job")
+	}
+	if jobs[0].Deadline != admitted.Deadline {
+		t.Fatalf("deadline changed across restart: %v → %v", admitted.Deadline, jobs[0].Deadline)
+	}
+
+	// The admitted deadline must still be met. Platform time froze during
+	// the downtime, so the full budget remains; poll until completion.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		jobs = getJobs(t, addr2)
+		if len(jobs) == 1 && jobs[0].State == "completed" {
+			if jobs[0].Completion > jobs[0].Deadline {
+				t.Fatalf("job completed at t=%.0fs, after its deadline t=%.0fs", jobs[0].Completion, jobs[0].Deadline)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never completed after restart: %+v", jobs)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Graceful shutdown of the second incarnation flushes cleanly.
+	if err := child2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := child2.Wait(); err != nil {
+		t.Fatalf("graceful shutdown failed: %v", err)
+	}
+}

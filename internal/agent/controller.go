@@ -379,6 +379,40 @@ func (c *Controller) Ping(name string) (PingReply, error) {
 	return reply, nil
 }
 
+// Addrs returns the dial address of every registered agent, keyed by name —
+// the piece of controller state a recovery driver persists so a restarted
+// controller can re-dial the agents that survived it.
+func (c *Controller) Addrs() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.addrs))
+	for name, addr := range c.addrs {
+		out[name] = addr
+	}
+	return out
+}
+
+// Adopt probes agentName for a live jobID and, when the job is training
+// there, re-registers the routing entry a controller restart lost, so
+// Status/Rescale/Stop work again. ok=false with a nil error means the agent
+// answered and does not host the job; a non-nil error means the agent could
+// not be asked.
+func (c *Controller) Adopt(agentName, jobID string, spec TaskSpec) (StatusReply, bool, error) {
+	var reply StatusReply
+	if err := c.call(agentName, "Agent.Status", StatusArgs{JobID: jobID}, &reply); err != nil {
+		if fatalCall(err) {
+			// The agent processed the request: the job is not there.
+			return StatusReply{}, false, nil
+		}
+		return StatusReply{}, false, err
+	}
+	c.mu.Lock()
+	c.specs[jobID] = spec
+	c.homes[jobID] = agentName
+	c.mu.Unlock()
+	return reply, true, nil
+}
+
 // Launch starts a fresh job on the named agent with the given worker count.
 func (c *Controller) Launch(jobID string, spec TaskSpec, agentName string, workers int) (LaunchReply, error) {
 	return c.launch(jobID, spec, agentName, workers, nil)

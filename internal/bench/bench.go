@@ -34,6 +34,10 @@ type Experiment struct {
 	PlanCacheHits    uint64  `json:"plan_cache_hits"`
 	PlanCacheMisses  uint64  `json:"plan_cache_misses"`
 	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
+	// Metrics carries experiment-specific scalars the generic counters above
+	// cannot express (e.g. the store experiment's append throughput and
+	// recovery latency). Absent for experiments that report none.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the top-level BENCH.json document.

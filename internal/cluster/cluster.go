@@ -147,6 +147,11 @@ func agentName(server int) string { return fmt.Sprintf("server-%d", server) }
 // training task is registered too).
 func (o *Orchestrator) Platform() *serverless.Platform { return o.platform }
 
+// AgentAddrs returns the dial address of every agent the controller knows,
+// keyed by name — the piece of wiring a recovery driver persists and hands
+// back to NewRecovered after a controller crash.
+func (o *Orchestrator) AgentAddrs() map[string]string { return o.ctrl.Addrs() }
+
 // Close tears down the controller connections and agents.
 func (o *Orchestrator) Close() {
 	o.ctrl.Close()

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/elasticflow/elasticflow/internal/agent"
+	"github.com/elasticflow/elasticflow/internal/serverless"
+	"github.com/elasticflow/elasticflow/internal/store"
+	"github.com/elasticflow/elasticflow/internal/topology"
+)
+
+// newDurableOrchestrator builds an orchestrator journaling into dir.
+func newDurableOrchestrator(t *testing.T, dir string, clk *fakeClock) *Orchestrator {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(Options{Platform: serverless.Options{
+		Topology: topology.Config{Servers: 2, GPUsPerServer: 8},
+		Clock:    clk.now,
+		Store:    st,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o.Close)
+	return o
+}
+
+// TestControllerCrashAdoptsLiveTrainers: the controller process dies but the
+// agents (separate processes in the real system) keep training. The
+// recovered orchestrator must re-learn the routes and worker counts from the
+// live agents — no restart, no lost steps — and keep every journaled
+// admission with its original deadline.
+func TestControllerCrashAdoptsLiveTrainers(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	o1 := newDurableOrchestrator(t, dir, clk)
+
+	st1, err := o1.Submit(serverless.SubmitRequest{
+		Model: "resnet50", GlobalBatch: 64, Iterations: 1e7, DeadlineSeconds: 1e6,
+	}, testTask(7, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(time.Minute)
+	st2, err := o1.Submit(serverless.SubmitRequest{
+		Model: "bert", GlobalBatch: 64, Iterations: 1e7, DeadlineSeconds: 1e6,
+	}, testTask(8, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o1.Step(30); err != nil {
+		t.Fatal(err)
+	}
+	addrs := o1.AgentAddrs()
+	tasks := map[string]agent.TaskSpec{st1.ID: testTask(7, 500), st2.ID: testTask(8, 500)}
+	preDeadline1, preDeadline2 := st1.Deadline, st2.Deadline
+
+	// Crash the controller: its connections die, its routing tables and the
+	// platform's memory are gone; the agents and the state directory remain.
+	o1.ctrl.Close()
+
+	reopened, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reopened.TornTails(); n != 0 {
+		t.Fatalf("clean crash produced %d torn tails", n)
+	}
+	o2, vanished, err := NewRecovered(Options{Platform: serverless.Options{
+		Topology: topology.Config{Servers: 2, GPUsPerServer: 8},
+		Clock:    clk.now,
+		Store:    reopened,
+	}}, addrs, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vanished) != 0 {
+		t.Fatalf("all agents alive, yet vanished=%v", vanished)
+	}
+
+	for _, id := range []string{st1.ID, st2.ID} {
+		if _, ok := o2.Home(id); !ok {
+			t.Fatalf("job %s not adopted onto any agent", id)
+		}
+		ts, err := o2.TrainingStatus(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts.Step != 30 {
+			t.Errorf("job %s at step %d after adoption, want 30 (trainer restarted?)", id, ts.Step)
+		}
+		o2.mu.Lock()
+		_, mirrored := o2.mirrors[id]
+		o2.mu.Unlock()
+		if !mirrored {
+			t.Errorf("job %s has no post-adoption checkpoint mirror", id)
+		}
+	}
+
+	// The journaled admissions keep their deadlines across recovery.
+	for id, want := range map[string]float64{st1.ID: preDeadline1, st2.ID: preDeadline2} {
+		got, err := o2.Platform().Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == "dropped" {
+			t.Fatalf("recovery revoked admitted job %s", id)
+		}
+		if got.Deadline != want {
+			t.Errorf("job %s deadline %v after recovery, want %v", id, got.Deadline, want)
+		}
+	}
+
+	// The recovered stack keeps training.
+	if err := o2.Step(20); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := o2.TrainingStatus(st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Step != 50 {
+		t.Errorf("step %d after post-recovery training, want 50", ts.Step)
+	}
+}
+
+// TestRecoveryRoutesVanishedAgentThroughNodeDown: an agent that died during
+// the controller's downtime fails the recovery ping sweep and must go
+// through the same NodeDown path a heartbeat trip takes — capacity out of
+// the pool, jobs relaunched on the survivors — while admitted jobs keep
+// their deadlines (possibly flagged at-risk, never revoked).
+func TestRecoveryRoutesVanishedAgentThroughNodeDown(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	o1 := newDurableOrchestrator(t, dir, clk)
+
+	st1, err := o1.Submit(serverless.SubmitRequest{
+		Model: "resnet50", GlobalBatch: 64, Iterations: 1e7, DeadlineSeconds: 1e6,
+	}, testTask(7, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o1.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	addrs := o1.AgentAddrs()
+
+	// Controller crashes; during the downtime agent server-1 dies too.
+	o1.ctrl.Close()
+	o1.listenStops[agentName(1)]()
+
+	reopened, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, vanished, err := NewRecovered(Options{Platform: serverless.Options{
+		Topology: topology.Config{Servers: 2, GPUsPerServer: 8},
+		Clock:    clk.now,
+		Store:    reopened,
+	}}, addrs, map[string]agent.TaskSpec{st1.ID: testTask(7, 500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vanished) != 1 || vanished[0] != agentName(1) {
+		t.Fatalf("vanished = %v, want [%s]", vanished, agentName(1))
+	}
+	downs := o2.Platform().DownServers()
+	if len(downs) != 1 || downs[0] != 1 {
+		t.Fatalf("down servers = %v after vanish, want [1]", downs)
+	}
+
+	// The job must end up on the surviving agent, admitted with its
+	// original deadline, and trainable.
+	home, ok := o2.Home(st1.ID)
+	if !ok {
+		t.Fatalf("job %s not running anywhere after recovery", st1.ID)
+	}
+	if home != agentName(0) {
+		t.Errorf("job %s on %s, want the surviving %s", st1.ID, home, agentName(0))
+	}
+	got, err := o2.Platform().Get(st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State == "dropped" {
+		t.Fatal("vanished-agent recovery revoked the admission")
+	}
+	if err := o2.Step(5); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -152,6 +152,15 @@ func (e *ElasticFlow) InvalidatePlanCache() {
 	e.mu.Unlock()
 }
 
+// Generation returns the plan-cache generation counter. It only moves on
+// InvalidatePlanCache calls; recovery tests assert the restore path bumped
+// it so no pre-crash fill pass can serve a post-restore decision.
+func (e *ElasticFlow) Generation() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.gen
+}
+
 // matchPrefix returns the number of leading positions of s that are reusable
 // for a query over jobs (slo then be) with fingerprints fps and candidate
 // skipCand: fingerprints must match, and for unsatisfied SLO records the

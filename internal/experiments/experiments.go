@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/elasticflow/elasticflow/internal/baselines"
 	"github.com/elasticflow/elasticflow/internal/core"
@@ -29,6 +30,9 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Metrics carries machine-readable scalars alongside the rendered rows;
+	// efbench folds them into the experiment's BENCH.json record.
+	Metrics map[string]float64
 }
 
 // String renders the table as aligned text.
@@ -213,6 +217,12 @@ func IDs() []string {
 // (used by tests); the default reproduces the paper's scales.
 type Options struct {
 	Quick bool
+	// Clock supplies the monotonic wall clock to the experiments that
+	// measure the harness's own cost (scale, store). It must be injected by
+	// the caller — this package is simulation-facing, so detlint forbids it
+	// from reading wall clocks itself. Nil freezes the clock: such
+	// experiments still run but report zero wall time and zero rates.
+	Clock func() time.Time
 }
 
 // scale returns full when !Quick, else quick.
@@ -221,6 +231,23 @@ func (o Options) scale(full, quick int) int {
 		return quick
 	}
 	return full
+}
+
+// now reads the injected clock; without one, time stands still.
+func (o Options) now() time.Time {
+	if o.Clock == nil {
+		return time.Time{}
+	}
+	return o.Clock()
+}
+
+// perSec turns an op count over a wall duration into a rate, 0 when the
+// clock was not injected (or the interval was immeasurably small).
+func perSec(ops int, wall float64) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(ops) / wall
 }
 
 // mkJob builds a toy job for the motivating examples.

@@ -46,6 +46,14 @@ type Obs struct {
 	restores    *Counter    // ef_checkpoint_restores_total
 	recoverySec *Histogram  // ef_recovery_seconds
 	jobRescales *CounterVec // ef_job_rescales_total{job}
+
+	storeRecords     *CounterVec // ef_store_records_total{kind}
+	storeFsyncs      *Counter    // ef_store_fsyncs_total
+	storeSnapshots   *Counter    // ef_store_snapshots_total
+	storeSnapBytes   *Gauge      // ef_store_snapshot_bytes
+	storeReplayed    *Counter    // ef_store_replayed_records_total
+	storeRecoverySec *Histogram  // ef_store_recovery_seconds
+	storeTornTails   *Counter    // ef_store_torn_tails_total
 }
 
 // DecisionBuckets are the fixed upper bounds of ef_sched_decision_seconds:
@@ -96,6 +104,14 @@ func New(opts Options) *Obs {
 		restores:    m.Counter("ef_checkpoint_restores_total", "Jobs restored from a mirrored checkpoint after an agent loss."),
 		recoverySec: m.Histogram("ef_recovery_seconds", "Latency from declaring an agent down to jobs relaunched.", RecoveryBuckets),
 		jobRescales: m.CounterVec("ef_job_rescales_total", "Rescale events actually charged, per job.", "job"),
+
+		storeRecords:     m.CounterVec("ef_store_records_total", "Journal records appended to the durable control-plane store, by record kind.", "kind"),
+		storeFsyncs:      m.Counter("ef_store_fsyncs_total", "Journal fsync calls (group commit batches durable appends, so this lags records)."),
+		storeSnapshots:   m.Counter("ef_store_snapshots_total", "Control-plane snapshots written (each truncates the journal chain)."),
+		storeSnapBytes:   m.Gauge("ef_store_snapshot_bytes", "Size in bytes of the most recent control-plane snapshot."),
+		storeReplayed:    m.Counter("ef_store_replayed_records_total", "Journal records replayed through the scheduler during recovery."),
+		storeRecoverySec: m.Histogram("ef_store_recovery_seconds", "Wall time of control-plane state recovery (snapshot load + journal replay).", RecoveryBuckets),
+		storeTornTails:   m.Counter("ef_store_torn_tails_total", "Torn journal tails (partial final records) detected and truncated during recovery."),
 	}
 	// Seed the fixed-verdict series so a scrape before the first decision
 	// still shows the catalog.
@@ -290,6 +306,56 @@ func (o *Obs) IncJobRescale(jobID string) {
 		return
 	}
 	o.jobRescales.With(jobID).Inc()
+}
+
+// IncStoreRecord counts one journal record appended, by record kind.
+func (o *Obs) IncStoreRecord(kind string) {
+	if o == nil {
+		return
+	}
+	o.storeRecords.With(kind).Inc()
+}
+
+// IncStoreFsync counts one journal fsync (one group-commit batch).
+func (o *Obs) IncStoreFsync() {
+	if o == nil {
+		return
+	}
+	o.storeFsyncs.Inc()
+}
+
+// ObserveStoreSnapshot records one written snapshot and its size.
+func (o *Obs) ObserveStoreSnapshot(bytes int) {
+	if o == nil {
+		return
+	}
+	o.storeSnapshots.Inc()
+	o.storeSnapBytes.Set(float64(bytes))
+}
+
+// AddStoreReplayed counts records replayed through the scheduler during
+// recovery.
+func (o *Obs) AddStoreReplayed(n int) {
+	if o == nil {
+		return
+	}
+	o.storeReplayed.Add(float64(n))
+}
+
+// ObserveStoreRecovery records one control-plane recovery's wall time.
+func (o *Obs) ObserveStoreRecovery(sec float64) {
+	if o == nil {
+		return
+	}
+	o.storeRecoverySec.Observe(sec)
+}
+
+// IncStoreTornTail counts one torn journal tail truncated during recovery.
+func (o *Obs) IncStoreTornTail() {
+	if o == nil {
+		return
+	}
+	o.storeTornTails.Inc()
 }
 
 // SetUsedGPUs records the current allocated-GPU level.

@@ -41,6 +41,9 @@ func (p *Platform) capLocked() int {
 func (p *Platform) NodeDown(server int) ([]string, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if err := p.checkMutableLocked(); err != nil {
+		return nil, err
+	}
 	p.advanceLocked()
 	if server < 0 || server >= p.cluster.Config().Servers {
 		return nil, fmt.Errorf("serverless: server %d out of range [0,%d)", server, p.cluster.Config().Servers)
@@ -49,6 +52,22 @@ func (p *Platform) NodeDown(server int) ([]string, error) {
 		return nil, nil
 	}
 	now := p.lastTick
+	if p.journalingLocked() {
+		if err := p.journalLocked(recNodeDown, now, nodeBody{Server: server}, true); err != nil {
+			return nil, err
+		}
+	}
+	evicted, err := p.applyNodeDownLocked(server, now)
+	p.maybeSnapshotLocked()
+	return evicted, err
+}
+
+// applyNodeDownLocked performs the failure transition at time now — shared
+// by the live path and journal replay. Idempotent on an already-down server.
+func (p *Platform) applyNodeDownLocked(server int, now float64) ([]string, error) {
+	if p.down[server] {
+		return nil, nil
+	}
 	block, err := p.cluster.ServerBlock(server)
 	if err != nil {
 		return nil, err
@@ -72,7 +91,7 @@ func (p *Platform) NodeDown(server int) ([]string, error) {
 	p.down[server] = true
 	p.downGPUs += p.cluster.Config().GPUsPerServer
 	p.ef.InvalidatePlanCache()
-	p.obs.Event(now, obs.KindFailure, "",
+	p.eventLocked(now, obs.KindFailure, "",
 		obs.F("server", server), obs.F("evicted", len(evicted)))
 	p.recheckGuaranteesLocked(now)
 	p.rescheduleLocked(now)
@@ -84,6 +103,9 @@ func (p *Platform) NodeDown(server int) ([]string, error) {
 func (p *Platform) NodeUp(server int) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if err := p.checkMutableLocked(); err != nil {
+		return err
+	}
 	p.advanceLocked()
 	if server < 0 || server >= p.cluster.Config().Servers {
 		return fmt.Errorf("serverless: server %d out of range [0,%d)", server, p.cluster.Config().Servers)
@@ -92,13 +114,31 @@ func (p *Platform) NodeUp(server int) error {
 		return nil
 	}
 	now := p.lastTick
+	if p.journalingLocked() {
+		if err := p.journalLocked(recNodeUp, now, nodeBody{Server: server}, true); err != nil {
+			return err
+		}
+	}
+	if err := p.applyNodeUpLocked(server, now); err != nil {
+		return err
+	}
+	p.maybeSnapshotLocked()
+	return nil
+}
+
+// applyNodeUpLocked performs the recovery transition at time now — shared
+// by the live path and journal replay. Idempotent on an already-up server.
+func (p *Platform) applyNodeUpLocked(server int, now float64) error {
+	if !p.down[server] {
+		return nil
+	}
 	if err := p.cluster.Release(downReservation(server)); err != nil {
 		return err
 	}
 	delete(p.down, server)
 	p.downGPUs -= p.cluster.Config().GPUsPerServer
 	p.ef.InvalidatePlanCache()
-	p.obs.Event(now, obs.KindRecovery, "", obs.F("server", server))
+	p.eventLocked(now, obs.KindRecovery, "", obs.F("server", server))
 	p.recheckGuaranteesLocked(now)
 	p.rescheduleLocked(now)
 	return nil
@@ -119,7 +159,7 @@ func (p *Platform) recheckGuaranteesLocked(now float64) {
 		if a, ok := mss[j.ID]; ok && a.Satisfied {
 			if _, wasAtRisk := p.infeasible[j.ID]; wasAtRisk {
 				delete(p.infeasible, j.ID)
-				p.obs.Event(now, obs.KindInfeasible, j.ID, obs.F("cleared", true))
+				p.eventLocked(now, obs.KindInfeasible, j.ID, obs.F("cleared", true))
 			}
 			continue
 		}
@@ -137,7 +177,7 @@ func (p *Platform) recheckGuaranteesLocked(now float64) {
 			offer = dl - now
 		}
 		p.infeasible[j.ID] = offer
-		p.obs.Event(now, obs.KindInfeasible, j.ID,
+		p.eventLocked(now, obs.KindInfeasible, j.ID,
 			obs.F("deadline", j.Deadline), obs.F("earliest_feasible_sec", offer))
 	}
 }

@@ -38,7 +38,7 @@ func Handler(p *Platform) http.Handler {
 			}
 			st, err := p.Submit(req)
 			if err != nil {
-				writeError(o, w, http.StatusBadRequest, err)
+				writeError(o, w, mutationErrorCode(err, http.StatusBadRequest), err)
 				return
 			}
 			code := http.StatusCreated
@@ -70,7 +70,7 @@ func Handler(p *Platform) http.Handler {
 			writeJSON(o, w, http.StatusOK, st)
 		case http.MethodDelete:
 			if err := p.Cancel(id); err != nil {
-				writeError(o, w, http.StatusNotFound, err)
+				writeError(o, w, mutationErrorCode(err, http.StatusNotFound), err)
 				return
 			}
 			w.WriteHeader(http.StatusNoContent)
@@ -111,14 +111,14 @@ func Handler(p *Platform) http.Handler {
 		if action == "down" {
 			evicted, err := p.NodeDown(server)
 			if err != nil {
-				writeError(o, w, http.StatusBadRequest, err)
+				writeError(o, w, mutationErrorCode(err, http.StatusBadRequest), err)
 				return
 			}
 			writeJSON(o, w, http.StatusOK, nodeTransition{Server: server, State: "down", Evicted: evicted})
 			return
 		}
 		if err := p.NodeUp(server); err != nil {
-			writeError(o, w, http.StatusBadRequest, err)
+			writeError(o, w, mutationErrorCode(err, http.StatusBadRequest), err)
 			return
 		}
 		writeJSON(o, w, http.StatusOK, nodeTransition{Server: server, State: "up"})
@@ -157,6 +157,17 @@ func Handler(p *Platform) http.Handler {
 		})
 	})
 	return mux
+}
+
+// mutationErrorCode maps a mutation failure to its HTTP status: a request
+// arriving after graceful shutdown began flushing the journal is 503 — the
+// write was not journaled, so acknowledging it any other way would hand the
+// client an acknowledged-but-unjournaled mutation.
+func mutationErrorCode(err error, fallback int) int {
+	if errors.Is(err, ErrShuttingDown) {
+		return http.StatusServiceUnavailable
+	}
+	return fallback
 }
 
 // nodeTransition is the POST /v1/cluster/servers/{id}/{down,up} response.

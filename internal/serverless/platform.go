@@ -17,6 +17,7 @@ import (
 	"github.com/elasticflow/elasticflow/internal/job"
 	"github.com/elasticflow/elasticflow/internal/model"
 	"github.com/elasticflow/elasticflow/internal/obs"
+	"github.com/elasticflow/elasticflow/internal/store"
 	"github.com/elasticflow/elasticflow/internal/throughput"
 	"github.com/elasticflow/elasticflow/internal/topology"
 )
@@ -109,6 +110,15 @@ type Options struct {
 	// scheduler it wires this sink into it for decision tracing; a caller
 	// supplying Scheduler wires core.Options.Obs (or WithObs) themselves.
 	Obs *obs.Obs
+	// Store, when non-nil, makes the control plane durable: every mutation
+	// is journaled (record-then-apply) before it is applied, and Shutdown
+	// snapshots the final state. NewPlatform requires the store to be
+	// empty; a store with recovered state must go through Recover.
+	Store *store.Store
+	// SnapshotEvery triggers a snapshot (which truncates the journal)
+	// after that many records. 0 disables periodic snapshots; Shutdown
+	// still takes a final one.
+	SnapshotEvery int
 }
 
 // Platform is the running serverless service. All methods are safe for
@@ -141,10 +151,41 @@ type Platform struct {
 	// unguaranteeable after capacity loss to the counter-offer (earliest
 	// feasible relative deadline in seconds). guarded by mu
 	infeasible map[string]float64
+
+	// store is the durability journal; nil runs the platform in-memory
+	// only (DESIGN.md §11).
+	store *store.Store
+	// snapEvery is the record count that triggers a snapshot.
+	snapEvery int
+	// closing rejects mutations once graceful shutdown begins. guarded by mu
+	closing bool
+	// broken wedges the platform after a journal failure: applying a
+	// mutation the journal did not accept would break record-then-apply.
+	// guarded by mu
+	broken error
+	// replaying marks recovery replay: applies re-emit events for
+	// verification instead of journaling them. guarded by mu
+	replaying bool
+	// replayTail is the journal suffix being replayed. guarded by mu
+	replayTail []store.Record
+	// replayPos is the verification cursor into replayTail. guarded by mu
+	replayPos int
+	// replayErr records the first replay divergence. guarded by mu
+	replayErr error
 }
 
-// NewPlatform creates a platform over a fresh virtual cluster.
+// NewPlatform creates a platform over a fresh virtual cluster. A store
+// holding recovered state is rejected — silently ignoring it would void
+// every guarantee it records; use Recover instead.
 func NewPlatform(opts Options) (*Platform, error) {
+	if opts.Store != nil && opts.Store.HasState() {
+		return nil, fmt.Errorf("serverless: state directory %s holds recovered state; use Recover", opts.Store.Dir())
+	}
+	return newPlatform(opts)
+}
+
+// newPlatform builds the platform shell shared by NewPlatform and Recover.
+func newPlatform(opts Options) (*Platform, error) {
 	if opts.Topology.Servers == 0 {
 		opts.Topology = topology.Config{Servers: 2, GPUsPerServer: 8}
 	}
@@ -163,6 +204,13 @@ func NewPlatform(opts Options) (*Platform, error) {
 	o := opts.Obs
 	if o == nil {
 		o = obs.New(obs.Options{Clock: clock})
+	}
+	if opts.Store != nil {
+		// The store was opened before this handle existed (efserver opens
+		// it to decide between fresh start and recovery); route its
+		// ef_store_* series here so journal metrics are visible wherever
+		// the platform's are scraped.
+		opts.Store.SetObs(o)
 	}
 	ef := opts.Scheduler
 	if ef == nil {
@@ -186,6 +234,8 @@ func NewPlatform(opts Options) (*Platform, error) {
 		all:        make(map[string]*job.Job),
 		down:       make(map[int]bool),
 		infeasible: make(map[string]float64),
+		store:      opts.Store,
+		snapEvery:  opts.SnapshotEvery,
 	}, nil
 }
 
@@ -199,7 +249,9 @@ func (p *Platform) Now() float64 {
 func (p *Platform) Obs() *obs.Obs { return p.obs }
 
 // Submit profiles, validates and admits a job (§3.1). The returned status
-// reports whether the job was admitted or dropped.
+// reports whether the job was admitted or dropped. Invalid requests are
+// rejected before they reach the journal; a valid request is journaled
+// durably before the admission decision is applied (record-then-apply).
 func (p *Platform) Submit(req SubmitRequest) (JobStatus, error) {
 	spec, err := model.ByName(req.Model)
 	if err != nil {
@@ -214,16 +266,39 @@ func (p *Platform) Submit(req SubmitRequest) (JobStatus, error) {
 	if !req.BestEffort && req.DeadlineSeconds <= 0 {
 		return JobStatus{}, fmt.Errorf("serverless: deadline must be positive for SLO jobs")
 	}
-	prof, _, err := p.prof.Profile(spec, req.GlobalBatch)
-	if err != nil {
+	if _, _, err := p.prof.Profile(spec, req.GlobalBatch); err != nil {
 		return JobStatus{}, err
 	}
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if err := p.checkMutableLocked(); err != nil {
+		return JobStatus{}, err
+	}
 	p.advanceLocked()
 	now := p.lastTick
+	if p.journalingLocked() {
+		if err := p.journalLocked(recSubmit, now, req, true); err != nil {
+			return JobStatus{}, err
+		}
+	}
+	st, err := p.applySubmitLocked(req, now)
+	p.maybeSnapshotLocked()
+	return st, err
+}
 
+// applySubmitLocked runs the submission decision at time now — the shared
+// apply function of the live path and journal replay. Everything it does is
+// deterministic in (req, now, platform state).
+func (p *Platform) applySubmitLocked(req SubmitRequest, now float64) (JobStatus, error) {
+	spec, err := model.ByName(req.Model)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	prof, _, err := p.prof.Profile(spec, req.GlobalBatch)
+	if err != nil {
+		return JobStatus{}, err
+	}
 	p.seq++
 	j := &job.Job{
 		ID:                 fmt.Sprintf("job-%04d", p.seq),
@@ -256,7 +331,7 @@ func (p *Platform) Submit(req SubmitRequest) (JobStatus, error) {
 	if admitted {
 		j.State = job.Admitted
 		p.active = append(p.active, j)
-		p.obs.Event(now, obs.KindAdmit, j.ID,
+		p.eventLocked(now, obs.KindAdmit, j.ID,
 			obs.F("model", j.Model.Name), obs.F("class", j.Class.String()))
 		p.obs.IncAdmission("admit")
 		p.rescheduleLocked(now)
@@ -267,7 +342,7 @@ func (p *Platform) Submit(req SubmitRequest) (JobStatus, error) {
 		if dl, ok := p.ef.EarliestDeadline(now, j, p.active, p.capLocked()); ok {
 			st.EarliestFeasibleSec = dl - now
 		}
-		p.obs.Event(now, obs.KindDrop, j.ID,
+		p.eventLocked(now, obs.KindDrop, j.ID,
 			obs.F("model", j.Model.Name), obs.F("reason", "admission control"),
 			obs.F("earliest_feasible_sec", st.EarliestFeasibleSec))
 		p.obs.IncAdmission("drop")
@@ -301,27 +376,55 @@ func (p *Platform) List() []JobStatus {
 	return out
 }
 
-// Cancel removes a job from the platform.
+// Cancel removes a job from the platform. Only a cancel that will actually
+// change state (the job is admitted or running) is journaled.
 func (p *Platform) Cancel(id string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if err := p.checkMutableLocked(); err != nil {
+		return err
+	}
 	p.advanceLocked()
 	j, ok := p.all[id]
 	if !ok {
 		return fmt.Errorf("serverless: unknown job %q", id)
 	}
-	if j.State == job.Admitted || j.State == job.Running {
-		p.removeActiveLocked(id)
-		if _, owned := p.cluster.Placement(id); owned {
-			if err := p.cluster.Release(id); err != nil {
-				return err
-			}
-		}
-		j.State = job.Dropped
-		delete(p.infeasible, id)
-		p.obs.Event(p.lastTick, obs.KindCancel, id)
-		p.rescheduleLocked(p.lastTick)
+	if j.State != job.Admitted && j.State != job.Running {
+		return nil
 	}
+	now := p.lastTick
+	if p.journalingLocked() {
+		if err := p.journalLocked(recCancel, now, cancelBody{ID: id}, true); err != nil {
+			return err
+		}
+	}
+	if err := p.applyCancelLocked(id, now); err != nil {
+		return err
+	}
+	p.maybeSnapshotLocked()
+	return nil
+}
+
+// applyCancelLocked removes the job at time now — shared by the live path
+// and journal replay. Idempotent on an already-inactive job.
+func (p *Platform) applyCancelLocked(id string, now float64) error {
+	j, ok := p.all[id]
+	if !ok {
+		return fmt.Errorf("serverless: unknown job %q", id)
+	}
+	if j.State != job.Admitted && j.State != job.Running {
+		return nil
+	}
+	p.removeActiveLocked(id)
+	if _, owned := p.cluster.Placement(id); owned {
+		if err := p.cluster.Release(id); err != nil {
+			return err
+		}
+	}
+	j.State = job.Dropped
+	delete(p.infeasible, id)
+	p.eventLocked(now, obs.KindCancel, id)
+	p.rescheduleLocked(now)
 	return nil
 }
 
@@ -380,20 +483,45 @@ func (p *Platform) Plans() []PlanEntry {
 }
 
 // Tick advances the platform to the current clock reading, completing jobs
-// and rescheduling; the server calls it periodically.
+// and rescheduling; the server calls it periodically. It is also the
+// snapshot driver for read-heavy periods: advance records accumulate even
+// without mutations, and the periodic tick gives the store a chance to
+// truncate them.
 func (p *Platform) Tick() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.advanceLocked()
+	p.maybeSnapshotLocked()
 }
 
-// advanceLocked accrues progress since the last tick, retires completed
-// jobs, and reschedules if anything changed.
+// advanceLocked accrues progress up to the current clock reading.
 func (p *Platform) advanceLocked() {
-	now := p.Now()
+	p.advanceToLocked(p.Now())
+}
+
+// advanceToLocked accrues progress since the last tick up to now, retires
+// completed jobs, and reschedules if anything changed. Every advance is
+// journaled: lastTick is state — later submit times and deadlines are
+// measured against it, so recovery must resume at the last observed tick.
+// A completion-bearing advance changes scheduling state and is recorded
+// durably before applying; a pure time observation is recorded non-durably
+// (its loss on power failure only rewinds idle time nothing was
+// acknowledged against).
+func (p *Platform) advanceToLocked(now float64) {
 	dt := now - p.lastTick
 	if dt <= 0 {
 		return
+	}
+	if p.closing || p.broken != nil {
+		// After shutdown begins the final snapshot must remain the final
+		// state; after a journal failure applying anything would break
+		// record-then-apply. Either way, time stops.
+		return
+	}
+	if p.journalingLocked() {
+		if err := p.journalLocked(recAdvance, now, nil, p.completionPendingLocked(now)); err != nil {
+			return
+		}
 	}
 	changed := false
 	for _, j := range p.active {
@@ -416,7 +544,7 @@ func (p *Platform) advanceLocked() {
 		p.completed++
 		delete(p.infeasible, j.ID)
 		met := j.MetDeadline()
-		p.obs.Event(now, obs.KindComplete, j.ID, obs.F("met", met))
+		p.eventLocked(now, obs.KindComplete, j.ID, obs.F("met", met))
 		p.obs.IncCompletion(met)
 		changed = true
 	}
@@ -457,14 +585,14 @@ func (p *Platform) rescheduleLocked(now float64) {
 				panic(err)
 			}
 			for _, m := range migs {
-				p.obs.Event(now, obs.KindMigrate, m.JobID, obs.F("from", m.From), obs.F("to", m.To))
+				p.eventLocked(now, obs.KindMigrate, m.JobID, obs.F("from", m.From), obs.F("to", m.To))
 				p.obs.IncMigration()
 			}
 			started := j.GPUs > 0 || j.DoneIters > 0
 			if started {
 				j.FrozenUntil = now + j.RescaleOverheadSec
 				j.Rescales++
-				p.obs.Event(now, obs.KindRescale, j.ID, obs.F("gpus", ng))
+				p.eventLocked(now, obs.KindRescale, j.ID, obs.F("gpus", ng))
 				p.obs.IncRescale()
 				p.obs.IncJobRescale(j.ID)
 			}
