@@ -20,12 +20,19 @@ test:
 vet:
 	$(GO) vet ./...
 
-# lint runs the repo's own analyzers (cmd/eflint): determinism in the
-# simulator, `guarded by` mutex annotations, float equality, and discarded
-# errors. Suppress a finding with `//eflint:ignore <analyzer> <reason>` on
-# the same or preceding line; see DESIGN.md for conventions.
+# lint runs the repo's own analyzers (cmd/eflint): the per-package passes
+# (determinism, `guarded by` mutex annotations, float equality, discarded
+# errors) and the whole-program passes (record-then-apply journaling,
+# interprocedural lock discipline, the ef_* metric catalog) — see DESIGN.md
+# §12. Suppress a finding with `//eflint:ignore <analyzer> <reason>` on the
+# same or preceding line. The second invocation exercises the machine
+# interface (-json) that editor and bot integrations consume. nilness is a
+# gated extra: scripts/nilness.sh runs the x/tools analyzer when the
+# environment provides it and skips cleanly offline.
 lint: ci-sync-check
 	$(GO) run ./cmd/eflint ./...
+	$(GO) run ./cmd/eflint -json ./internal/analysis/...
+	./scripts/nilness.sh
 
 # ci-sync-check fails when the `ci` target here and the mirror jobs in
 # .github/workflows/ci.yml run different command sets.

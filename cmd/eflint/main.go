@@ -1,11 +1,12 @@
 // Command eflint is the repo's multichecker: it runs the custom analyzers
-// under internal/analysis (detlint, guardlint, floatlint, errlint) over
-// package patterns and exits non-zero when any finding survives its
-// //eflint:ignore suppressions.
+// under internal/analysis — the per-package passes (detlint, guardlint,
+// floatlint, errlint) and the whole-program passes (journalint, locklint,
+// obslint) — over package patterns and exits non-zero when any finding
+// survives its //eflint:ignore suppressions.
 //
 // Usage:
 //
-//	eflint [-only a,b] [-list] [packages]
+//	eflint [-only a,b] [-list] [-json] [packages]
 //
 // Packages default to ./... relative to the module root containing the
 // working directory. Run it as `go run ./cmd/eflint ./...` or build it and
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +26,9 @@ import (
 	"github.com/elasticflow/elasticflow/internal/analysis/errlint"
 	"github.com/elasticflow/elasticflow/internal/analysis/floatlint"
 	"github.com/elasticflow/elasticflow/internal/analysis/guardlint"
+	"github.com/elasticflow/elasticflow/internal/analysis/journalint"
+	"github.com/elasticflow/elasticflow/internal/analysis/locklint"
+	"github.com/elasticflow/elasticflow/internal/analysis/obslint"
 )
 
 var all = []*analysis.Analyzer{
@@ -31,11 +36,15 @@ var all = []*analysis.Analyzer{
 	errlint.Analyzer,
 	floatlint.Analyzer,
 	guardlint.Analyzer,
+	journalint.Analyzer,
+	locklint.Analyzer,
+	obslint.Analyzer,
 }
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON lines (file/line/analyzer/message)")
 	flag.Parse()
 
 	if *list {
@@ -77,8 +86,23 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			rec := struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Analyzer string `json:"analyzer"`
+				Message  string `json:"message"`
+			}{d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message}
+			if err := enc.Encode(rec); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "eflint: %d finding(s)\n", len(diags))

@@ -74,7 +74,9 @@ func main() {
 	var sink *obs.Obs
 	if *eventsOut != "" || *metricsOut != "" {
 		sink = obs.New(obs.Options{RingSize: 1 << 20})
-		if tracer, ok := s.(interface{ WithObs(*obs.Obs) *core.ElasticFlow }); ok {
+		if tracer, ok := s.(interface {
+			WithObs(*obs.Obs) *core.ElasticFlow
+		}); ok {
 			tracer.WithObs(sink)
 		}
 	}

@@ -39,10 +39,17 @@ type Analyzer struct {
 	// analysis the analyzer runs on; it receives the package's import
 	// path relative to the module root (e.g. "internal/sim", "" for the
 	// module root package). Packages outside the module — in practice
-	// only analysistest fixtures — are always in scope.
+	// only analysistest fixtures — are always in scope. For program
+	// analyzers the whole load is still visible (call graphs need it);
+	// Scope filters where diagnostics may land.
 	Scope func(relPath string) bool
-	// Run performs the check, reporting findings through the pass.
+	// Run performs a per-package check, reporting findings through the
+	// pass. Exactly one of Run and RunProgram must be set.
 	Run func(*Pass) error
+	// RunProgram performs a whole-program (interprocedural, cross-package)
+	// check over everything one driver invocation loaded. It runs once
+	// per load, after all packages are type-checked.
+	RunProgram func(*ProgramPass) error
 }
 
 // A Pass connects one analyzer run to one type-checked package.
@@ -79,7 +86,7 @@ func (d Diagnostic) String() string {
 // suppression is one parsed //eflint:ignore comment.
 type suppression struct {
 	file     string
-	line     int  // the commented line; it also covers line+1
+	line     int // the commented line; it also covers line+1
 	analyzer string
 	ok       bool // well-formed (has analyzer name and reason)
 	pos      token.Position

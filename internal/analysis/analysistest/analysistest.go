@@ -34,6 +34,12 @@ type key struct {
 
 // Run applies a to the fixture package pkg under dir/src and reports any
 // mismatch between its diagnostics and the // want comments via t.
+//
+// A per-package analyzer (a.Run) sees the fixture package alone and its
+// wants come from that package's directory. A program analyzer
+// (a.RunProgram) sees the fixture package plus everything it transitively
+// imports from the fixture tree, and wants are collected from every loaded
+// fixture package — cross-package findings land where they land.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
 	t.Helper()
 	root := filepath.Join(dir, "src")
@@ -42,13 +48,35 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
 	if err != nil {
 		t.Fatalf("loading %s: %v", pkg, err)
 	}
-	pass := analysis.NewPass(a, p)
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
+
+	var diags []analysis.Diagnostic
+	wantDirs := []string{p.Dir}
+	if a.RunProgram != nil {
+		prog := analysis.NewProgram(loader.Packages())
+		pass := analysis.NewProgramPass(a, prog)
+		if err := a.RunProgram(pass); err != nil {
+			t.Fatalf("running %s: %v", a.Name, err)
+		}
+		diags = pass.Diagnostics()
+		wantDirs = nil
+		for _, lp := range loader.Packages() {
+			wantDirs = append(wantDirs, lp.Dir)
+		}
+	} else {
+		pass := analysis.NewPass(a, p)
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("running %s: %v", a.Name, err)
+		}
+		diags = pass.Diagnostics()
 	}
 
-	unmatched := collectWants(t, p.Dir)
-	for _, d := range pass.Diagnostics() {
+	unmatched := make(map[key][]string)
+	for _, d := range wantDirs {
+		for k, ws := range collectWants(t, d) {
+			unmatched[k] = append(unmatched[k], ws...)
+		}
+	}
+	for _, d := range diags {
 		k := key{d.Pos.Filename, d.Pos.Line}
 		ws := unmatched[k]
 		matched := -1

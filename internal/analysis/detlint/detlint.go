@@ -11,8 +11,11 @@
 //     output built this way differ between identical seeds.
 //
 // It runs on the simulation-facing packages (internal/{sim,sched,policy,
-// core,trace,elastic,baselines,experiments}); the live control plane
-// (internal/agent, internal/serverless) legitimately reads wall clocks.
+// core,trace,elastic,baselines,experiments}) and on the durable-state
+// packages (internal/store, internal/faults), whose replay and fault
+// schedules must be as reproducible as the simulator; the live control
+// plane (internal/agent, internal/serverless) legitimately reads wall
+// clocks.
 package detlint
 
 import (
@@ -30,6 +33,7 @@ var Analyzer = &analysis.Analyzer{
 	Scope: analysis.ScopePackages(
 		"internal/sim", "internal/sched", "internal/policy", "internal/core",
 		"internal/trace", "internal/elastic", "internal/baselines", "internal/experiments",
+		"internal/store", "internal/faults",
 	),
 	Run: run,
 }

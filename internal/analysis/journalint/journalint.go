@@ -1,0 +1,366 @@
+// Package journalint enforces the durable control plane's record-then-apply
+// discipline (DESIGN.md §11) statically: every mutation of journaled state
+// must be reachable only through the validate → journal-durable → apply
+// path. A state write outside a record-then-apply frame, or an apply that
+// runs before the journal append, survives every test that doesn't crash at
+// exactly the wrong instant — so the convention is encoded here and broken
+// builds fail instead.
+//
+// # Annotations
+//
+// A struct field whose declaration comment contains the word "journaled"
+// is journal-covered state: recovery reconstructs it by replaying journal
+// records, so the live path must append the record before mutating it.
+//
+// Functions declare their role in the discipline with a doc-comment
+// directive //eflint:journal <class>:
+//
+//   - append — the journaling primitive (performs the store append).
+//   - apply  — a pure apply function: it may mutate journaled state, and
+//     every caller must have journaled (or be replay/recovery) first.
+//   - entry  — a mutation entry point: it must call an append function
+//     before any journaled write or apply call in its body.
+//   - replay — the recovery replay driver: it re-runs apply functions
+//     against records already in the journal, so it never appends.
+//   - init   — construction/restore code that builds state before the
+//     journaled regime begins (snapshot restore).
+//
+// An unannotated function may mutate journaled state only when every static
+// caller is an apply/entry/init frame (or such a helper itself) — the
+// helper-reachable-only-from-applies case. The call graph is static: calls
+// through interfaces or function values are invisible, so the check is an
+// under-approximation; keep mutation helpers directly called.
+package journalint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/elasticflow/elasticflow/internal/analysis"
+)
+
+// Analyzer is the journalint analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:       "journalint",
+	Doc:        "enforces record-then-apply: journaled state mutates only inside apply/entry/init frames, and entries journal before applying",
+	RunProgram: run,
+}
+
+// Function classes, parsed from //eflint:journal directives.
+const (
+	classNone   = ""
+	classAppend = "append"
+	classApply  = "apply"
+	classEntry  = "entry"
+	classReplay = "replay"
+	classInit   = "init"
+)
+
+var validClasses = map[string]bool{
+	classAppend: true, classApply: true, classEntry: true,
+	classReplay: true, classInit: true,
+}
+
+type checker struct {
+	pass      *analysis.ProgramPass
+	prog      *analysis.Program
+	journaled map[types.Object]bool
+	class     map[*analysis.FuncNode]string
+	// frame memoizes the reachable-only-from-frames fixpoint; see frameOK.
+	frame map[*analysis.FuncNode]int // 0 unknown, 1 yes, -1 no/in-progress
+}
+
+func run(pass *analysis.ProgramPass) error {
+	c := &checker{
+		pass:      pass,
+		prog:      pass.Program,
+		journaled: make(map[types.Object]bool),
+		class:     make(map[*analysis.FuncNode]string),
+		frame:     make(map[*analysis.FuncNode]int),
+	}
+	c.collectJournaled()
+	c.collectClasses()
+	if len(c.journaled) == 0 {
+		// Directive hygiene still applies: a journal directive in a
+		// program with no journaled state is dead annotation.
+		return nil
+	}
+	for _, fn := range c.prog.Funcs() {
+		c.checkFunc(fn)
+	}
+	return nil
+}
+
+// collectJournaled indexes every field whose comment carries the "journaled"
+// marker.
+func (c *checker) collectJournaled() {
+	for _, pkg := range c.prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						if !hasJournaledMarker(field) {
+							continue
+						}
+						for _, name := range field.Names {
+							if obj := pkg.Info.Defs[name]; obj != nil {
+								c.journaled[obj] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// hasJournaledMarker reports whether a field comment contains the standalone
+// word "journaled".
+func hasJournaledMarker(f *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if containsWord(cg.Text(), "journaled") {
+			return true
+		}
+	}
+	return false
+}
+
+// containsWord reports whether s contains w delimited by non-letter runes.
+func containsWord(s, w string) bool {
+	for i := 0; i+len(w) <= len(s); i++ {
+		if s[i:i+len(w)] != w {
+			continue
+		}
+		beforeOK := i == 0 || !isWordByte(s[i-1])
+		afterOK := i+len(w) == len(s) || !isWordByte(s[i+len(w)])
+		if beforeOK && afterOK {
+			return true
+		}
+	}
+	return false
+}
+
+func isWordByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '_'
+}
+
+// collectClasses parses //eflint:journal directives off function docs.
+func (c *checker) collectClasses() {
+	for _, fn := range c.prog.Funcs() {
+		args, ok := analysis.FuncDirective(fn, "journal")
+		if !ok {
+			continue
+		}
+		if len(args) != 1 || !validClasses[args[0]] {
+			c.pass.Reportf(fn.Decl.Pos(), "malformed //eflint:journal directive on %s: want one of append/apply/entry/replay/init", fn.Name())
+			continue
+		}
+		c.class[fn] = args[0]
+	}
+}
+
+// firstAppendCall returns the position of the first call to an append-class
+// function in fn's body, or token.NoPos.
+func (c *checker) firstAppendCall(fn *analysis.FuncNode) token.Pos {
+	first := token.NoPos
+	for _, call := range fn.Calls {
+		if c.class[call.Callee] != classAppend {
+			continue
+		}
+		if !first.IsValid() || call.Site.Pos() < first {
+			first = call.Site.Pos()
+		}
+	}
+	return first
+}
+
+// frameOK reports whether fn is a sanctioned mutation frame for journaled
+// writes: marked apply/init (the record-then-apply frames proper), append
+// (the primitive stamps the sequence number as part of the durable append),
+// replay (it reconstructs state from records that are already durable), or
+// an unannotated helper every one of whose static callers is itself a
+// sanctioned frame or an entry. Functions with no static callers are not
+// sanctioned (nothing proves a journal precedes them), and cycles of
+// unannotated helpers resolve to not-sanctioned.
+func (c *checker) frameOK(fn *analysis.FuncNode) bool {
+	switch c.class[fn] {
+	case classApply, classInit, classAppend, classReplay:
+		return true
+	case classEntry:
+		return false
+	}
+	switch c.frame[fn] {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	c.frame[fn] = -1 // breaks caller cycles conservatively
+	if len(fn.Callers) == 0 {
+		return false
+	}
+	for _, call := range fn.Callers {
+		caller := call.Caller
+		if c.class[caller] == classEntry {
+			// An entry journals before its first apply call; treat the
+			// helper like an apply reached from it. The positional check
+			// on the entry itself still guards the ordering.
+			continue
+		}
+		if !c.frameOK(caller) {
+			return false
+		}
+	}
+	c.frame[fn] = 1
+	return true
+}
+
+// callFrameOK reports whether fn may invoke apply-class functions without a
+// preceding journal append at the call site: apply, replay and init frames
+// may, and so may unannotated functions reachable only from such frames.
+func (c *checker) callFrameOK(fn *analysis.FuncNode) bool {
+	switch c.class[fn] {
+	case classApply, classReplay, classInit:
+		return true
+	case classEntry, classAppend:
+		return false
+	}
+	if len(fn.Callers) == 0 {
+		return false
+	}
+	for _, call := range fn.Callers {
+		if !c.callFrameOK(call.Caller) {
+			// No memoization needed: chains are short, and an entry
+			// caller fails here by design — entries must journal at the
+			// site, which the positional branch in checkFunc verifies.
+			return false
+		}
+	}
+	return true
+}
+
+// checkFunc applies the write and call rules to one function.
+func (c *checker) checkFunc(fn *analysis.FuncNode) {
+	if fn.Decl.Body == nil {
+		return
+	}
+	class := c.class[fn]
+	appendPos := c.firstAppendCall(fn)
+
+	if class == classEntry && !appendPos.IsValid() {
+		c.pass.Reportf(fn.Decl.Pos(), "%s is marked //eflint:journal entry but never calls an append-class function", fn.Name())
+	}
+
+	// Rule 1: writes to journaled fields.
+	writes := c.journaledWrites(fn)
+	for _, w := range writes {
+		switch {
+		case class == classApply || class == classInit || class == classAppend || class == classReplay:
+			// sanctioned; see frameOK for why append and replay qualify
+		case class == classEntry:
+			if appendPos.IsValid() && w.pos < appendPos {
+				c.pass.Reportf(w.pos, "journaled field %s written before the journal append in entry %s (record-then-apply)", w.name, fn.Name())
+			}
+		default:
+			if !c.frameOK(fn) {
+				c.pass.Reportf(w.pos, "journaled field %s written outside the record-then-apply path: %s is not an apply/entry/init frame and is reachable from non-apply code", w.name, fn.Name())
+			}
+		}
+	}
+
+	// Rule 2: calls to apply-class functions.
+	for _, call := range fn.Calls {
+		if c.class[call.Callee] != classApply {
+			continue
+		}
+		switch {
+		case class == classApply || class == classReplay || class == classInit:
+			// apply→apply composition, replay, and recovery are the
+			// sanctioned paths.
+		case class == classEntry:
+			if appendPos.IsValid() && call.Site.Pos() < appendPos {
+				c.pass.Reportf(call.Site.Pos(), "entry %s applies %s before the journal append (record-then-apply requires the durable append first)", fn.Name(), call.Callee.Name())
+			}
+		default:
+			if !c.callFrameOK(fn) {
+				c.pass.Reportf(call.Site.Pos(), "call to apply function %s outside a journal frame: mark %s //eflint:journal entry (and journal first) or route it through an apply/replay frame", call.Callee.Name(), fn.Name())
+			}
+		}
+	}
+}
+
+// journaledWrite is one mutation of a journaled field.
+type journaledWrite struct {
+	pos  token.Pos
+	name string
+}
+
+// journaledWrites finds assignments, compound assignments, ++/--, and
+// delete() calls whose target resolves to a journaled field.
+func (c *checker) journaledWrites(fn *analysis.FuncNode) []journaledWrite {
+	info := fn.Pkg.Info
+	var out []journaledWrite
+	add := func(expr ast.Expr, pos token.Pos) {
+		if obj := c.fieldObjOf(info, expr); obj != nil && c.journaled[obj] {
+			out = append(out, journaledWrite{pos: pos, name: obj.Name()})
+		}
+	}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				add(lhs, n.Pos())
+			}
+		case *ast.IncDecStmt:
+			add(n.X, n.Pos())
+		case *ast.CallExpr:
+			// delete(p.field, k) mutates the map field.
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" && len(n.Args) > 0 {
+					add(n.Args[0], n.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// fieldObjOf resolves an lvalue expression to the struct field it writes:
+// p.f, p.f[k] and p.f[i:j] all mutate field f. Writes through local aliases
+// are not resolved — aliasing journaled state into a local and mutating it
+// there defeats the static check, so the convention is to write through the
+// receiver.
+func (c *checker) fieldObjOf(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				return sel.Obj()
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package journal is the journalint golden fixture: a miniature durable
+// store with journaled fields, the full class vocabulary, true-positive
+// violations of both rules, and an annotated suppression.
+package journal
+
+// DB is a journaled state machine in miniature.
+type DB struct {
+	n       int            // journaled count of applied puts
+	items   map[string]int // journaled key space
+	scratch int            // unrecorded scratch space; writable anywhere
+}
+
+// journal appends one record durably before any state changes.
+//
+//eflint:journal append
+func (d *DB) journal(kind, key string, v int) {
+	d.n = d.n // append may stamp journaled metadata (sequence numbers)
+}
+
+// applyPut is the pure apply function for put records.
+//
+//eflint:journal apply
+func (d *DB) applyPut(k string, v int) {
+	d.items[k] = v
+	d.bump()
+}
+
+// bump is unannotated but reachable only from applyPut, so its journaled
+// write is sanctioned by the call-graph fixpoint.
+func (d *DB) bump() {
+	d.n++
+}
+
+// Put is the well-formed entry point: journal first, then apply.
+//
+//eflint:journal entry
+func (d *DB) Put(k string, v int) {
+	d.scratch++ // non-journaled writes are free
+	d.journal("put", k, v)
+	d.applyPut(k, v)
+}
+
+// BadPut applies before it journals — a crash between the two lines loses
+// the record while keeping the state change.
+//
+//eflint:journal entry
+func (d *DB) BadPut(k string, v int) {
+	d.applyPut(k, v) // want "applies applyPut before the journal append"
+	d.journal("put", k, v)
+}
+
+// EagerPut mutates journaled state directly before the append.
+//
+//eflint:journal entry
+func (d *DB) EagerPut(k string, v int) {
+	d.n++ // want "written before the journal append"
+	d.journal("put", k, v)
+	d.applyPut(k, v)
+}
+
+// Forgetful is marked entry but never journals at all.
+//
+//eflint:journal entry
+func (d *DB) Forgetful(k string, v int) { // want "never calls an append-class function"
+	d.applyPut(k, v)
+}
+
+// Rogue has no callers and no annotation: nothing proves a journal append
+// precedes its write.
+func (d *DB) Rogue() {
+	d.n = 0 // want "outside the record-then-apply path"
+}
+
+// RogueApply invokes an apply function from outside any journal frame.
+func (d *DB) RogueApply(k string) {
+	d.applyPut(k, 1) // want "outside a journal frame"
+}
+
+// RogueDelete mutates a journaled map via the delete builtin.
+func (d *DB) RogueDelete(k string) {
+	delete(d.items, k) // want "outside the record-then-apply path"
+}
+
+// replay re-runs apply functions against records already in the journal.
+//
+//eflint:journal replay
+func (d *DB) replay(k string, v int) {
+	d.n = v // replay reconstructs journaled state directly
+	d.applyPut(k, v)
+}
+
+// restore builds state before the journaled regime begins.
+//
+//eflint:journal init
+func (d *DB) restore() {
+	d.items = make(map[string]int)
+	d.n = 0
+}
+
+// Debug pokes journaled state from a test-only maintenance path; the
+// suppression documents why that is tolerable here.
+func (d *DB) Debug() {
+	d.n = -1 //eflint:ignore journalint fixture maintenance hook, never runs against a live journal
+}
+
+// Mislabeled carries an unknown class.
+//
+//eflint:journal applly
+func (d *DB) Mislabeled() { // want "malformed //eflint:journal directive"
+	d.scratch++
+}

@@ -176,6 +176,23 @@ func (l *Loader) load(pkgPath, dir string) (*Package, error) {
 	return p, nil
 }
 
+// Packages returns every package this loader has loaded — pattern targets
+// and transitively imported module-local dependencies — sorted by import
+// path. Program analyzers are built over this full set so call graphs cross
+// package boundaries.
+func (l *Loader) Packages() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, l.pkgs[p])
+	}
+	return out
+}
+
 // importPkg resolves one import for the type checker.
 func (l *Loader) importPkg(path string) (*types.Package, error) {
 	moduleLocal := false

@@ -1,0 +1,145 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/analysis"
+)
+
+// writeTree materializes a map of relative path → file contents under a
+// fresh temp dir and returns the dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// wantErr asserts err is non-nil and mentions substr.
+func wantErr(t *testing.T, err error, substr string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("expected an error mentioning %q, got nil", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("expected error mentioning %q, got: %v", substr, err)
+	}
+}
+
+func TestLoadDirParseError(t *testing.T) {
+	root := writeTree(t, map[string]string{"bad/bad.go": "package bad\nfunc {"})
+	_, err := analysis.NewLoader("", root).LoadDir(filepath.Join(root, "bad"))
+	wantErr(t, err, "expected")
+}
+
+func TestLoadDirNoGoFiles(t *testing.T) {
+	root := writeTree(t, map[string]string{"empty/README.md": "nothing here"})
+	_, err := analysis.NewLoader("", root).LoadDir(filepath.Join(root, "empty"))
+	wantErr(t, err, "no buildable Go files")
+}
+
+func TestLoadDirOutsideModuleRoot(t *testing.T) {
+	root := writeTree(t, nil)
+	outside := t.TempDir()
+	_, err := analysis.NewLoader("", root).LoadDir(outside)
+	wantErr(t, err, "outside module root")
+}
+
+func TestLoadDirImportCycle(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/a.go": "package a\n\nimport _ \"b\"\n",
+		"b/b.go": "package b\n\nimport _ \"a\"\n",
+	})
+	_, err := analysis.NewLoader("", root).LoadDir(filepath.Join(root, "a"))
+	wantErr(t, err, "import cycle through")
+}
+
+func TestLoadDirTypeError(t *testing.T) {
+	root := writeTree(t, map[string]string{"broken/broken.go": "package broken\n\nvar x int = \"not an int\"\n"})
+	_, err := analysis.NewLoader("", root).LoadDir(filepath.Join(root, "broken"))
+	wantErr(t, err, "type-checking")
+}
+
+func TestModulePathOfMissingGoMod(t *testing.T) {
+	_, err := analysis.ModulePathOf(t.TempDir())
+	wantErr(t, err, "go.mod")
+}
+
+func TestModulePathOfNoModuleDirective(t *testing.T) {
+	root := writeTree(t, map[string]string{"go.mod": "go 1.22\n"})
+	_, err := analysis.ModulePathOf(root)
+	wantErr(t, err, "no module directive")
+}
+
+func TestModulePathOf(t *testing.T) {
+	root := writeTree(t, map[string]string{"go.mod": "module example.com/m\n\ngo 1.22\n"})
+	got, err := analysis.ModulePathOf(root)
+	if err != nil || got != "example.com/m" {
+		t.Fatalf("ModulePathOf = %q, %v; want example.com/m", got, err)
+	}
+}
+
+func TestFindModuleRootNotFound(t *testing.T) {
+	// A temp dir has no go.mod anywhere above it (or the walk would stop
+	// at a real module; /tmp trees are never inside one on CI).
+	if _, err := os.Stat("/tmp/go.mod"); err == nil {
+		t.Skip("/tmp unexpectedly holds a go.mod")
+	}
+	_, err := analysis.FindModuleRoot(t.TempDir())
+	wantErr(t, err, "no go.mod found above")
+}
+
+func TestExpandPatternsMissingDir(t *testing.T) {
+	root := writeTree(t, nil)
+	_, err := analysis.ExpandPatterns(root, []string{"./nonexistent"})
+	wantErr(t, err, "no buildable Go files")
+}
+
+func TestExpandPatternsSkipsTestdataAndHidden(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"pkg/pkg.go":                  "package pkg\n",
+		"pkg/testdata/src/fix/f.go":   "package fix\n",
+		"pkg/.hidden/h.go":            "package hidden\n",
+		"pkg/_underscore/u.go":        "package underscore\n",
+		"pkg/nested/nested.go":        "package nested\n",
+		"pkg/nested/only_test.go.txt": "not a go file\n",
+	})
+	dirs, err := analysis.ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(root, "pkg"), filepath.Join(root, "pkg", "nested")}
+	if len(dirs) != len(want) || dirs[0] != want[0] || dirs[1] != want[1] {
+		t.Fatalf("ExpandPatterns = %v, want %v", dirs, want)
+	}
+}
+
+// TestRunMalformedSuppression covers the end-to-end path Run takes through
+// the loader: a malformed //eflint:ignore surfaces under the pseudo-analyzer
+// "eflint" even with no analyzers enabled.
+func TestRunMalformedSuppression(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":    "module example.com/m\n\ngo 1.22\n",
+		"p/p.go":    "package p\n\n//eflint:ignore\nvar X = 1\n",
+		"q/q.go":    "package q\n",
+		"善/nogo.md": "dirs without Go files are skipped by ./...\n",
+	})
+	diags, err := analysis.Run(root, []string{"./..."}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "eflint" {
+		t.Fatalf("diags = %v, want one malformed-suppression finding", diags)
+	}
+}

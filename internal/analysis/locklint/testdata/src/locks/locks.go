@@ -1,0 +1,59 @@
+// Package locks is the client half of the locklint golden fixture: it
+// holds locksbase.Counter.Mu across package boundaries and declares the
+// acquisition order the two packages share.
+package locks
+
+import (
+	"locksbase"
+	"sync"
+)
+
+// Wrapper owns its own mutex and a counter from the base package. The
+// declared order: the counter's mutex is always acquired first.
+//
+//eflint:lockorder locksbase.Counter.Mu locks.Wrapper.mu
+type Wrapper struct {
+	mu    sync.Mutex
+	total int // guarded by mu
+	c     *locksbase.Counter
+}
+
+// GoodHolder is locksbase.Process's only call site; holding Mu here is what
+// keeps the BumpLocked call inside Process clean.
+func GoodHolder(c *locksbase.Counter) {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	locksbase.Process(c)
+}
+
+// BadCall breaks the *Locked contract from outside the defining package.
+func BadCall(c *locksbase.Counter) {
+	c.BumpLocked() // want "without holding"
+}
+
+// Ordered acquires in the declared order: counter first, wrapper second.
+func (w *Wrapper) Ordered() {
+	w.c.Mu.Lock()
+	defer w.c.Mu.Unlock()
+	w.mu.Lock()
+	w.total++
+	w.mu.Unlock()
+}
+
+// Inverted acquires against the declared order in one body.
+func (w *Wrapper) Inverted() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.c.Mu.Lock() // want "lock order violation"
+	w.c.N++
+	w.c.Mu.Unlock()
+}
+
+// IndirectInverted holds its own mutex and delegates the second acquisition
+// to locksbase.Grab — the inversion is reported there, where the lock call
+// lives.
+func (w *Wrapper) IndirectInverted() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	locksbase.Grab(w.c)
+}

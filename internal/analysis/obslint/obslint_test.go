@@ -1,0 +1,12 @@
+package obslint_test
+
+import (
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/analysis/analysistest"
+	"github.com/elasticflow/elasticflow/internal/analysis/obslint"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", obslint.Analyzer, "metricsclient")
+}

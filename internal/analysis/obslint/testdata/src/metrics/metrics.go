@@ -1,0 +1,73 @@
+// Package metrics is the catalog half of the obslint golden fixture: a
+// miniature registry, the cataloged ef_* families, field-comment bindings
+// and the in-package violation cases.
+package metrics
+
+// Counter is a stub series handle.
+type Counter struct{}
+
+// Inc is a stub.
+func (*Counter) Inc() {}
+
+// CounterVec is a stub labeled family handle.
+type CounterVec struct{}
+
+// With is a stub; the real registry panics on arity mismatch.
+func (*CounterVec) With(values ...string) *Counter { return &Counter{} }
+
+// Gauge is a stub series handle.
+type Gauge struct{}
+
+// Registry mimics the obs registration surface.
+type Registry struct{}
+
+// Counter registers an unlabeled counter.
+func (*Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// CounterVec registers a labeled counter family.
+func (*Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{}
+}
+
+// Gauge registers an unlabeled gauge.
+func (*Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+
+// Histogram registers an unlabeled histogram.
+func (*Registry) Histogram(name, help string, buckets []float64) *Gauge { return &Gauge{} }
+
+// HistogramVec registers a labeled histogram family.
+func (*Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *CounterVec {
+	return &CounterVec{}
+}
+
+// Metrics binds catalog series to fields; obslint reads the comments.
+type Metrics struct {
+	admits *CounterVec // ef_admits_total{verdict}
+	level  *Gauge      // ef_level
+	ghost  *Counter    // ef_ghost_total // want "unregistered series"
+	wrong  *CounterVec // ef_admits_total{kind} // want "catalog registered labels"
+}
+
+// build is the one sanctioned registration point.
+func build(r *Registry) *Metrics {
+	return &Metrics{
+		admits: r.CounterVec("ef_admits_total", "Admissions by verdict.", "verdict"),
+		level:  r.Gauge("ef_level", "Current level."),
+	}
+}
+
+// conflicting re-registers an existing family with different labels.
+func conflicting(r *Registry) {
+	r.CounterVec("ef_admits_total", "Admissions again.", "kind") // want "conflicting registration"
+}
+
+// dynamic builds the name at runtime, which the catalog cannot check.
+func dynamic(r *Registry, suffix string) {
+	r.Counter("ef_dyn_"+suffix, "Dynamic.") // want "must be a string literal"
+}
+
+// observe exercises With arity in the catalog package itself.
+func observe(m *Metrics) {
+	m.admits.With("admit").Inc()
+	m.admits.With("admit", "extra").Inc() // want "label value"
+}

@@ -1,0 +1,23 @@
+// Package metricsclient is the consumer half of the obslint golden
+// fixture: it references the catalog across the package boundary, and
+// hosts the stray-registration and suppression cases.
+package metricsclient
+
+import "metrics"
+
+// Stats carries cross-package field bindings to cataloged series.
+type Stats struct {
+	admits *metrics.CounterVec // ef_admits_total{verdict}
+}
+
+// Register bypasses the catalog from another package.
+func Register(r *metrics.Registry) {
+	r.Counter("ef_rogue_total", "Registered far from the catalog.") // want "outside the catalog package"
+}
+
+// Observe exercises With arity through the cross-package binding.
+func Observe(s *Stats) {
+	s.admits.With("admit").Inc()
+	s.admits.With().Inc()         // want "label value"
+	s.admits.With("a", "b").Inc() //eflint:ignore obslint fixture: arity covered by the registry's runtime panic test
+}

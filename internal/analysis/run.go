@@ -29,6 +29,9 @@ func Run(rootDir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic
 		}
 		diags = append(diags, pkg.MalformedSuppressions()...)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			if a.Scope != nil && pkg.RelPath != "-" && !a.Scope(pkg.RelPath) {
 				continue
 			}
@@ -38,6 +41,23 @@ func Run(rootDir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic
 			}
 			diags = append(diags, pass.Diagnostics()...)
 		}
+	}
+	// Program analyzers run once over the full load (pattern targets plus
+	// their transitively imported module-local dependencies), so their
+	// call graphs and fact stores see every edge the patterns can reach.
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = NewProgram(loader.Packages())
+		}
+		pass := NewProgramPass(a, prog)
+		if err := a.RunProgram(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
+		}
+		diags = append(diags, pass.Diagnostics()...)
 	}
 	SortDiagnostics(diags)
 	return diags, nil

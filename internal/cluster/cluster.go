@@ -50,12 +50,18 @@ type Orchestrator struct {
 	// read-only afterwards.
 	listenStops map[string]func()
 
+	// mu is the outermost lock in the control plane: reconciliation holds
+	// it while calling into the platform and the agent controller, so it
+	// is always acquired before either of their locks.
+	//
+	//eflint:lockorder cluster.Orchestrator.mu serverless.Platform.mu
+	//eflint:lockorder cluster.Orchestrator.mu agent.Controller.mu
 	mu    sync.Mutex
-	specs map[string]agent.TaskSpec // jobID → training task
+	specs map[string]agent.TaskSpec // jobID → training task. guarded by mu
 	// state per job on the agent side
-	workers map[string]int                // jobID → live worker count (0 = suspended)
-	homes   map[string]string             // jobID → agent name
-	parked  map[string]elastic.Checkpoint // checkpoints of suspended jobs
+	workers map[string]int                // jobID → live worker count (0 = suspended). guarded by mu
+	homes   map[string]string             // jobID → agent name. guarded by mu
+	parked  map[string]elastic.Checkpoint // checkpoints of suspended jobs. guarded by mu
 	// mirrors holds the latest checkpoint copied off each live job's
 	// agent — the state recovery restores from. guarded by mu
 	mirrors map[string]elastic.Checkpoint

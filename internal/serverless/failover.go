@@ -38,6 +38,8 @@ func (p *Platform) capLocked() int {
 // restarts them from mirrored checkpoints), its capacity leaves the pool,
 // and admission guarantees are re-checked. Idempotent; returns the evicted
 // job IDs, sorted.
+//
+//eflint:journal entry
 func (p *Platform) NodeDown(server int) ([]string, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -64,6 +66,8 @@ func (p *Platform) NodeDown(server int) ([]string, error) {
 
 // applyNodeDownLocked performs the failure transition at time now — shared
 // by the live path and journal replay. Idempotent on an already-down server.
+//
+//eflint:journal apply
 func (p *Platform) applyNodeDownLocked(server int, now float64) ([]string, error) {
 	if p.down[server] {
 		return nil, nil
@@ -100,6 +104,8 @@ func (p *Platform) applyNodeDownLocked(server int, now float64) ([]string, error
 
 // NodeUp returns a failed server's capacity to the pool and re-checks
 // guarantees (at-risk jobs may become feasible again). Idempotent.
+//
+//eflint:journal entry
 func (p *Platform) NodeUp(server int) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -128,6 +134,8 @@ func (p *Platform) NodeUp(server int) error {
 
 // applyNodeUpLocked performs the recovery transition at time now — shared
 // by the live path and journal replay. Idempotent on an already-up server.
+//
+//eflint:journal apply
 func (p *Platform) applyNodeUpLocked(server int, now float64) error {
 	if !p.down[server] {
 		return nil

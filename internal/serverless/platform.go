@@ -111,9 +111,10 @@ type Options struct {
 	// supplying Scheduler wires core.Options.Obs (or WithObs) themselves.
 	Obs *obs.Obs
 	// Store, when non-nil, makes the control plane durable: every mutation
-	// is journaled (record-then-apply) before it is applied, and Shutdown
-	// snapshots the final state. NewPlatform requires the store to be
-	// empty; a store with recovered state must go through Recover.
+	// is recorded in the journal (record-then-apply) before it is applied,
+	// and Shutdown snapshots the final state. NewPlatform requires the
+	// store to be empty; a store with recovered state must go through
+	// Recover.
 	Store *store.Store
 	// SnapshotEvery triggers a snapshot (which truncates the journal)
 	// after that many records. 0 disables periodic snapshots; Shutdown
@@ -124,6 +125,11 @@ type Options struct {
 // Platform is the running serverless service. All methods are safe for
 // concurrent use.
 type Platform struct {
+	// mu is held across scheduling, journaling and plan-cache calls, so
+	// it precedes the scheduler's and the store's locks.
+	//
+	//eflint:lockorder serverless.Platform.mu core.ElasticFlow.mu
+	//eflint:lockorder serverless.Platform.mu store.Store.mu
 	mu      sync.Mutex
 	ef      *core.ElasticFlow
 	cluster *topology.Cluster // placement state mutates under mu. guarded by mu
@@ -132,24 +138,25 @@ type Platform struct {
 	clock   func() time.Time
 	start   time.Time
 	scale   float64
-	// lastTick is the platform time of the latest advance. guarded by mu
+	// lastTick is the platform time of the latest advance. journaled;
+	// guarded by mu
 	lastTick float64
 
-	seq       int                 // job ID counter. guarded by mu
-	active    []*job.Job          // admitted, incomplete jobs. guarded by mu
-	all       map[string]*job.Job // every job ever submitted. guarded by mu
-	completed int                 // guarded by mu
-	dropped   int                 // guarded by mu
+	seq       int                 // job ID counter. journaled; guarded by mu
+	active    []*job.Job          // admitted, incomplete jobs. journaled; guarded by mu
+	all       map[string]*job.Job // every job ever submitted. journaled; guarded by mu
+	completed int                 // journaled; guarded by mu
+	dropped   int                 // journaled; guarded by mu
 	observer  func(map[string]int)
 	obs       *obs.Obs
 
-	// down marks servers declared failed via NodeDown. guarded by mu
+	// down marks servers declared failed via NodeDown. journaled; guarded by mu
 	down map[int]bool
-	// downGPUs is the capacity held by down servers. guarded by mu
+	// downGPUs is the capacity held by down servers. journaled; guarded by mu
 	downGPUs int
 	// infeasible maps admitted SLO jobs whose deadline became
 	// unguaranteeable after capacity loss to the counter-offer (earliest
-	// feasible relative deadline in seconds). guarded by mu
+	// feasible relative deadline in seconds). journaled; guarded by mu
 	infeasible map[string]float64
 
 	// store is the durability journal; nil runs the platform in-memory
@@ -222,12 +229,12 @@ func newPlatform(opts Options) (*Platform, error) {
 	}
 	est := throughput.NewEstimator(hw)
 	return &Platform{
-		observer: opts.Observer,
-		obs:      o,
-		ef:       ef,
-		cluster:  cluster,
-		est:      est,
-		prof:     throughput.NewProfiler(est, opts.Topology.GPUsPerServer, cluster.TotalGPUs()),
+		observer:   opts.Observer,
+		obs:        o,
+		ef:         ef,
+		cluster:    cluster,
+		est:        est,
+		prof:       throughput.NewProfiler(est, opts.Topology.GPUsPerServer, cluster.TotalGPUs()),
 		clock:      clock,
 		start:      clock(),
 		scale:      scale,
@@ -252,6 +259,8 @@ func (p *Platform) Obs() *obs.Obs { return p.obs }
 // reports whether the job was admitted or dropped. Invalid requests are
 // rejected before they reach the journal; a valid request is journaled
 // durably before the admission decision is applied (record-then-apply).
+//
+//eflint:journal entry
 func (p *Platform) Submit(req SubmitRequest) (JobStatus, error) {
 	spec, err := model.ByName(req.Model)
 	if err != nil {
@@ -290,6 +299,8 @@ func (p *Platform) Submit(req SubmitRequest) (JobStatus, error) {
 // applySubmitLocked runs the submission decision at time now — the shared
 // apply function of the live path and journal replay. Everything it does is
 // deterministic in (req, now, platform state).
+//
+//eflint:journal apply
 func (p *Platform) applySubmitLocked(req SubmitRequest, now float64) (JobStatus, error) {
 	spec, err := model.ByName(req.Model)
 	if err != nil {
@@ -378,6 +389,8 @@ func (p *Platform) List() []JobStatus {
 
 // Cancel removes a job from the platform. Only a cancel that will actually
 // change state (the job is admitted or running) is journaled.
+//
+//eflint:journal entry
 func (p *Platform) Cancel(id string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -407,6 +420,8 @@ func (p *Platform) Cancel(id string) error {
 
 // applyCancelLocked removes the job at time now — shared by the live path
 // and journal replay. Idempotent on an already-inactive job.
+//
+//eflint:journal apply
 func (p *Platform) applyCancelLocked(id string, now float64) error {
 	j, ok := p.all[id]
 	if !ok {
@@ -507,6 +522,8 @@ func (p *Platform) advanceLocked() {
 // durably before applying; a pure time observation is recorded non-durably
 // (its loss on power failure only rewinds idle time nothing was
 // acknowledged against).
+//
+//eflint:journal entry
 func (p *Platform) advanceToLocked(now float64) {
 	dt := now - p.lastTick
 	if dt <= 0 {

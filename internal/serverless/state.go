@@ -82,6 +82,8 @@ func (p *Platform) journalingLocked() bool {
 // journalLocked appends one mutation record. On failure the platform
 // wedges: the mutation must not be applied (record-then-apply) and no later
 // one can be either, or the journal would have a hole.
+//
+//eflint:journal append
 func (p *Platform) journalLocked(kind string, t float64, body any, durable bool) error {
 	if _, err := p.store.Append(kind, t, body, durable); err != nil {
 		p.broken = fmt.Errorf("serverless: journal failed, refusing further mutations: %w", err)
@@ -342,6 +344,8 @@ func (p *Platform) stateLocked() platformState {
 
 // restoreStateLocked rebuilds the platform from a snapshot payload onto the
 // freshly constructed (empty) platform.
+//
+//eflint:journal init
 func (p *Platform) restoreStateLocked(payload []byte) error {
 	var st platformState
 	if err := json.Unmarshal(payload, &st); err != nil {
@@ -480,6 +484,8 @@ func Recover(opts Options) (*Platform, error) {
 // apply functions as the live path; an event record reached here (rather
 // than consumed by an apply) means the live run emitted an event replay did
 // not — divergence.
+//
+//eflint:journal replay
 func (p *Platform) replayRecordLocked(rec store.Record) error {
 	switch rec.Kind {
 	case recAdvance:

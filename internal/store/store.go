@@ -62,11 +62,18 @@ type Store struct {
 
 	// Recovery results: set at Open, superseded by Snapshot. guarded by mu
 	snapPayload []byte
-	snapLSN     uint64 // guarded by mu
-	hasSnap     bool   // guarded by mu
-	tail        []Record
-	tornTails   int
+	snapLSN     uint64   // guarded by mu
+	hasSnap     bool     // guarded by mu
+	tail        []Record // guarded by mu
+	// tornTails is written once during the single-threaded Open and
+	// read-only afterwards, so it needs no guard.
+	tornTails int
 }
+
+// The declared acquisition order for the store's two locks — the comment on
+// syncMu above is the prose version; locklint enforces it.
+//
+//eflint:lockorder store.Store.mu store.Store.syncMu
 
 // Open opens (or initializes) a state directory and performs the recovery
 // scan: it locates the newest valid snapshot, decodes the journal suffix
@@ -283,7 +290,8 @@ func readSnapshot(path string, lsn uint64) ([]byte, error) {
 func (s *Store) RecoveredSnapshot() (payload []byte, lsn uint64, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.snapPayload, s.snapLSN, s.hasSnap
+	// Copied so the caller cannot alias the buffer Snapshot will reuse.
+	return append([]byte(nil), s.snapPayload...), s.snapLSN, s.hasSnap
 }
 
 // RecoveredTail returns the journal records after the recovered snapshot,
@@ -291,7 +299,7 @@ func (s *Store) RecoveredSnapshot() (payload []byte, lsn uint64, ok bool) {
 func (s *Store) RecoveredTail() []Record {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.tail
+	return append([]Record(nil), s.tail...)
 }
 
 // TornTails reports how many torn final records Open truncated (0 or 1; the
