@@ -7,7 +7,7 @@ GO ?= go
 # The wall-time-gated benchmarks CI compares between the PR base and head.
 BENCH_GATE = BenchmarkFig6aTestbedSmall|BenchmarkFig7aAllocationTimeline
 
-.PHONY: all build test vet lint race fuzz-smoke obs-check faults-check store-check ci ci-sync-check bench bench-base
+.PHONY: all build test vet lint race fuzz-smoke obs-check faults-check store-check trace-check ci ci-sync-check bench bench-base
 
 all: build test
 
@@ -75,7 +75,15 @@ store-check:
 	$(GO) test -race ./internal/store/ ./internal/serverless/ ./cmd/efserver/
 	$(GO) run ./cmd/eflint ./internal/store/ ./internal/serverless/ ./cmd/efserver/
 
-ci: build vet lint race fuzz-smoke obs-check faults-check store-check
+# trace-check exercises the causal tracing stack: the tracer and Chrome
+# trace-event encoder under the race detector, the byte-identical
+# golden-trail tests in the simulator, and an end-to-end efsim trace export
+# (the same artifact the Perfetto quickstart in README loads).
+trace-check:
+	$(GO) test -race ./internal/obs/tracing/ ./internal/sim/
+	$(GO) run ./cmd/efsim -seed 7 -jobs 40 -trace-out trace.json
+
+ci: build vet lint race fuzz-smoke obs-check faults-check store-check trace-check
 
 # bench runs the gated benchmarks and, when a baseline exists, applies the
 # same regression gate CI does. Capture the baseline on the base commit with

@@ -25,8 +25,12 @@
 // -state-dir to run the recovery half. Server failures are also injectable
 // at runtime via POST /v1/cluster/servers/{id}/down and .../up.
 //
-// Observability: GET /metrics serves Prometheus text exposition and
-// GET /debug/events?since=<seq> the structured scheduler event log.
+// Observability: GET /metrics serves Prometheus text exposition,
+// GET /debug/events?since=<seq>&limit=<n> the structured scheduler event
+// log, and GET /debug/trace?job=<id> the causal span trail as Perfetto-
+// loadable Chrome trace-event JSON. -pprof additionally serves the standard
+// net/http/pprof profiling endpoints under /debug/pprof/ (off by default:
+// profiling handlers on a control plane are an operator opt-in).
 // SIGINT/SIGTERM flush the journal, then drain in-flight requests; mutations
 // arriving after the flush begins are rejected with 503.
 package main
@@ -40,6 +44,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on DefaultServeMux; served only with -pprof
 	"os"
 	"os/signal"
 	"sort"
@@ -48,6 +53,8 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/elasticflow/elasticflow/internal/obs"
+	"github.com/elasticflow/elasticflow/internal/obs/tracing"
 	"github.com/elasticflow/elasticflow/internal/serverless"
 	"github.com/elasticflow/elasticflow/internal/store"
 	"github.com/elasticflow/elasticflow/internal/topology"
@@ -137,6 +144,7 @@ func run(args []string, stdout io.Writer) error {
 	chaos := fs.String("chaos", "", "chaos schedule, e.g. 1@30s+60s,kill@90s (platform time)")
 	stateDir := fs.String("state-dir", "", "directory for the durable journal + snapshots (empty: in-memory only)")
 	snapEvery := fs.Int("snapshot-every", 256, "journal records between snapshots (with -state-dir; 0 disables)")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -145,9 +153,13 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// The server always traces: span trails are bounded by the ring and
+	// cost one mutex hop per lifecycle step, and /debug/trace is the only
+	// way to reconstruct a causal history after the fact.
 	p, err := buildPlatform(serverless.Options{
 		Topology:  topology.Config{Servers: *servers, GPUsPerServer: *perServer},
 		TimeScale: *timescale,
+		Obs:       obs.New(obs.Options{Tracer: tracing.New(1)}),
 	}, *stateDir, *snapEvery)
 	if err != nil {
 		return err
@@ -207,8 +219,18 @@ func run(args []string, stdout io.Writer) error {
 		<-tickerDone
 		return err
 	}
-	srv := &http.Server{Handler: serverless.Handler(p)}
-	fmt.Fprintf(stdout, "efserver: %d GPUs, timescale %.0fx, listening on %s (metrics on /metrics, events on /debug/events)\n",
+	handler := serverless.Handler(p)
+	if *pprofOn {
+		// The pprof handlers live on DefaultServeMux (the blank import
+		// above); route only their prefix there so the platform API stays
+		// the custom mux.
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	srv := &http.Server{Handler: handler}
+	fmt.Fprintf(stdout, "efserver: %d GPUs, timescale %.0fx, listening on %s (metrics on /metrics, events on /debug/events, trace on /debug/trace)\n",
 		*servers**perServer, *timescale, l.Addr())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(l) }()

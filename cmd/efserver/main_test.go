@@ -187,3 +187,79 @@ func TestCrashRestartEndToEnd(t *testing.T) {
 		t.Fatalf("graceful shutdown failed: %v", err)
 	}
 }
+
+// TestPprofAndTraceEndpoints: -pprof gates the profiling handlers (absent
+// by default — profiling on a control plane is an operator opt-in), while
+// /debug/trace always serves the span trail as Chrome trace-event JSON.
+func TestPprofAndTraceEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("endpoint e2e spawns real processes")
+	}
+	stopChild := func(c *exec.Cmd) {
+		_ = c.Process.Signal(syscall.SIGTERM)
+		_ = c.Wait()
+	}
+
+	child, addr := startChild(t, "-addr 127.0.0.1:0 -servers 2 -gpus-per-server 4 -pprof")
+	defer stopChild(child)
+
+	resp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("-pprof: /debug/pprof/cmdline status = %d, want 200", resp.StatusCode)
+	}
+
+	// A submission populates the span trail; /debug/trace serves it in
+	// trace-event form with the job's lifecycle root present.
+	body, _ := json.Marshal(serverless.SubmitRequest{
+		Model: "resnet50", GlobalBatch: 64, Iterations: 2000, DeadlineSeconds: 600,
+	})
+	resp, err = http.Post("http://"+addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admitted serverless.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&admitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get("http://" + addr + "/debug/trace?job=" + admitted.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	found := false
+	for _, ev := range trace.TraceEvents {
+		if ev.Name == "job.lifecycle" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/debug/trace has no job.lifecycle event for %s: %+v", admitted.ID, trace.TraceEvents)
+	}
+	stopChild(child)
+
+	// Without the flag the profiling surface does not exist.
+	child2, addr2 := startChild(t, "-addr 127.0.0.1:0 -servers 2 -gpus-per-server 4")
+	defer stopChild(child2)
+	resp, err = http.Get("http://" + addr2 + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof served without -pprof")
+	}
+}

@@ -5,11 +5,13 @@
 // Usage:
 //
 //	efsim [-trace file.json] [-sched name] [-gpus N] [-jobs N] [-load F] [-seed N] [-v]
-//	      [-events out.json] [-metrics out.prom]
+//	      [-events out.json] [-metrics out.prom] [-trace-out out.json]
 //
 // Without -trace a synthetic trace is generated from -gpus/-jobs/-load/-seed.
 // -events and -metrics export the run's structured event log (JSON) and the
 // final metric registry (Prometheus text format); "-" writes to stdout.
+// -trace-out exports the causal span trail (job lifecycles, scheduler
+// epochs) as Chrome trace-event JSON, loadable at https://ui.perfetto.dev.
 // Schedulers: elasticflow, edf, gandiva, tiresias, themis, chronus, pollux,
 // edf+ac, edf+es.
 package main
@@ -26,6 +28,7 @@ import (
 	"github.com/elasticflow/elasticflow/internal/core"
 	"github.com/elasticflow/elasticflow/internal/model"
 	"github.com/elasticflow/elasticflow/internal/obs"
+	"github.com/elasticflow/elasticflow/internal/obs/tracing"
 	"github.com/elasticflow/elasticflow/internal/sim"
 	"github.com/elasticflow/elasticflow/internal/throughput"
 	"github.com/elasticflow/elasticflow/internal/topology"
@@ -45,6 +48,7 @@ func main() {
 	timelineCSV := flag.String("timeline-csv", "", "write the utilization/efficiency timeline as CSV to this file")
 	eventsOut := flag.String("events", "", "write the structured event log as JSON to this file (\"-\" = stdout)")
 	metricsOut := flag.String("metrics", "", "write final metrics in Prometheus text format to this file (\"-\" = stdout)")
+	traceOut := flag.String("trace-out", "", "write the span trail as Chrome trace-event JSON (Perfetto-loadable) to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	var tr trace.Trace
@@ -70,10 +74,15 @@ func main() {
 	}
 	// Observability is opt-in: the sink only exists when an export was
 	// requested, so default runs pay nothing. The large ring keeps every
-	// event of a 100-job trace.
+	// event of a 100-job trace. The span tracer is seeded from the trace
+	// seed, so same-seed runs export byte-identical trails.
 	var sink *obs.Obs
-	if *eventsOut != "" || *metricsOut != "" {
-		sink = obs.New(obs.Options{RingSize: 1 << 20})
+	if *eventsOut != "" || *metricsOut != "" || *traceOut != "" {
+		opts := obs.Options{RingSize: 1 << 20}
+		if *traceOut != "" {
+			opts.Tracer = tracing.New(uint64(*seed)).WithCap(1 << 20)
+		}
+		sink = obs.New(opts)
 		if tracer, ok := s.(interface {
 			WithObs(*obs.Obs) *core.ElasticFlow
 		}); ok {
@@ -111,6 +120,18 @@ func main() {
 	}
 	if *metricsOut != "" {
 		if err := writeOut(*metricsOut, sink.Metrics.WritePrometheus); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeOut(*traceOut, func(w io.Writer) error {
+			data, err := tracing.EncodeChrome(sink.Tracer().Spans())
+			if err != nil {
+				return err
+			}
+			_, err = w.Write(data)
+			return err
+		}); err != nil {
 			fatal(err)
 		}
 	}

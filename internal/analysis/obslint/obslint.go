@@ -22,11 +22,25 @@
 // Names and labels that are not string literals defeat every one of these
 // checks and are reported directly. With-calls on unannotated receivers
 // (locals, parameters) are invisible — annotate the field to opt in.
+//
+// The span catalog gets the same treatment as the metric catalog. The
+// tracing convention: every span name is a Span* string constant declared
+// in the package that declares the Tracer type, so trace consumers
+// (the Chrome encoder, dashboards, the golden-trail tests) can rely on a
+// closed name set. Two checks:
+//
+//   - The name argument of Begin/Emit/EmitLSN calls on a Tracer, outside
+//     the tracer's own package, must be a constant whose value is cataloged
+//     there. Dynamic names and novel literals are both errors.
+//   - A Begin call whose Ref result is discarded (statement position or
+//     assigned to _) is an error: the span can never be ended, so it leaks
+//     open in every trail.
 package obslint
 
 import (
 	"fmt"
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
 	"regexp"
@@ -39,7 +53,7 @@ import (
 // Analyzer is the obslint analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name:       "obslint",
-	Doc:        "ef_* metric series: registrations live in the catalog package, names and label arity at every reference and With call match the registration",
+	Doc:        "ef_* metric series and tracing spans: registrations and span names live in their catalog packages, label arity and span lifecycles are checked at every call site",
 	RunProgram: run,
 }
 
@@ -71,6 +85,7 @@ func run(pass *analysis.ProgramPass) error {
 	c.collect()
 	c.checkComments()
 	c.checkWithCalls()
+	c.checkSpanCalls()
 	return nil
 }
 
@@ -79,6 +94,9 @@ type catalog struct {
 	entries map[string]*series
 	// fields maps annotated struct fields to their referenced series name.
 	fields map[types.Object]string
+	// spans caches, per tracer package, the set of span-name constant
+	// values it declares.
+	spans map[*types.Package]map[string]bool
 }
 
 // registryCallee resolves a call to a Registry registration method and
@@ -330,4 +348,131 @@ func (c *catalog) checkWithCalls() {
 			return true
 		})
 	}
+}
+
+// spanMethods maps each Tracer span-emitting method to the argument index
+// of its span name.
+var spanMethods = map[string]int{
+	"Begin":   1,
+	"Emit":    1,
+	"EmitLSN": 1,
+}
+
+// tracerCallee resolves a call to a Tracer span method and returns the
+// method object, or nil.
+func tracerCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn := analysis.CalleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	if _, ok := spanMethods[fn.Name()]; !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Tracer" {
+		return nil
+	}
+	return fn
+}
+
+// spanNames returns the span catalog of a tracer package: the values of
+// every package-level string constant it declares (the Span* names).
+func (c *catalog) spanNames(pkg *types.Package) map[string]bool {
+	if s, ok := c.spans[pkg]; ok {
+		return s
+	}
+	s := make(map[string]bool)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		cn, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if b, ok := cn.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			s[constant.StringVal(cn.Val())] = true
+		}
+	}
+	c.spans[pkg] = s
+	return s
+}
+
+// checkSpanCalls walks every function checking span names against the span
+// catalog and flagging Begin calls whose Ref result is discarded.
+func (c *catalog) checkSpanCalls() {
+	c.spans = make(map[*types.Package]map[string]bool)
+	for _, fn := range c.pass.Program.Funcs() {
+		if fn.Decl.Body == nil {
+			continue
+		}
+		info := fn.Pkg.Info
+		local := fn.Pkg.Types
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+					c.checkDiscardedBegin(info, call)
+				}
+			case *ast.AssignStmt:
+				if len(st.Lhs) != len(st.Rhs) {
+					return true
+				}
+				for i, rhs := range st.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						c.checkDiscardedBegin(info, call)
+					}
+				}
+			case *ast.CallExpr:
+				c.checkSpanName(info, local, st)
+			}
+			return true
+		})
+	}
+}
+
+// checkSpanName validates the name argument of one span call: outside the
+// tracer's own package it must be a constant whose value the tracer package
+// catalogs.
+func (c *catalog) checkSpanName(info *types.Info, local *types.Package, call *ast.CallExpr) {
+	m := tracerCallee(info, call)
+	if m == nil {
+		return
+	}
+	if local == m.Pkg() {
+		return // the tracer package forwards dynamic names internally
+	}
+	idx := spanMethods[m.Name()]
+	if len(call.Args) <= idx {
+		return
+	}
+	arg := call.Args[idx]
+	tv, ok := info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		c.pass.Reportf(arg.Pos(), "span name must be a catalog constant from package %s so trace consumers can rely on a closed name set", m.Pkg().Name())
+		return
+	}
+	if name := constant.StringVal(tv.Value); !c.spanNames(m.Pkg())[name] {
+		c.pass.Reportf(arg.Pos(), "uncataloged span name %q: declare it as a constant in package %s so the span catalog stays closed", name, m.Pkg().Name())
+	}
+}
+
+// checkDiscardedBegin reports a Begin call whose Ref result is thrown away:
+// nothing can End that span, so it leaks open in every trail.
+func (c *catalog) checkDiscardedBegin(info *types.Info, call *ast.CallExpr) {
+	m := tracerCallee(info, call)
+	if m == nil || m.Name() != "Begin" {
+		return
+	}
+	c.pass.Reportf(call.Pos(), "Begin result discarded: the span can never be ended and leaks open in the trail — keep the Ref and End it, or use Emit for an instantaneous event")
 }

@@ -10,3 +10,7 @@ import (
 func TestFixture(t *testing.T) {
 	analysistest.Run(t, "testdata", obslint.Analyzer, "metricsclient")
 }
+
+func TestSpanFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", obslint.Analyzer, "spansclient")
+}

@@ -1,0 +1,33 @@
+// Package spans is the catalog half of the obslint span fixture: a stub of
+// the tracing package with the named Tracer type obslint resolves span
+// calls by, and the string constants that form its span catalog.
+package spans
+
+// The span catalog: every string constant in the tracer's package.
+const (
+	SpanAdmit     = "admit"
+	SpanRescale   = "rescale"
+	SpanHeartbeat = "heartbeat"
+)
+
+// Ref identifies an open span.
+type Ref uint64
+
+// Tracer is the stub tracer.
+type Tracer struct{}
+
+// Begin opens a span and returns its Ref.
+func (t *Tracer) Begin(now float64, name, jobID string) Ref { return 0 }
+
+// End closes a span.
+func (t *Tracer) End(now float64, ref Ref) {}
+
+// Emit records an instantaneous span. Forwarding the dynamic name to
+// EmitLSN here is legal: the tracer's own package is exempt from the
+// catalog-constant rule.
+func (t *Tracer) Emit(now float64, name, jobID string) {
+	t.EmitLSN(now, name, jobID, 0)
+}
+
+// EmitLSN records an instantaneous span stamped with a journal LSN.
+func (t *Tracer) EmitLSN(now float64, name, jobID string, lsn uint64) {}

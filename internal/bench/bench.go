@@ -42,7 +42,8 @@ type Experiment struct {
 
 // Report is the top-level BENCH.json document.
 type Report struct {
-	// Schema names this format; always "efbench/1".
+	// Schema names this format; "efbench/2" since the tracing calibration
+	// fields were added (v1 documents remain readable).
 	Schema string `json:"schema"`
 	// GoVersion records the toolchain (runtime.Version()).
 	GoVersion string `json:"go_version"`
@@ -52,14 +53,25 @@ type Report struct {
 	Experiments []Experiment `json:"experiments"`
 	// TotalWallSec is the summed wall time of all experiments.
 	TotalWallSec float64 `json:"total_wall_sec"`
+	// SpanCount is the number of spans the tracing calibration run
+	// recorded (0 when the calibration did not run).
+	SpanCount uint64 `json:"span_count,omitempty"`
+	// TraceOverhead is the relative wall-time cost of span tracing
+	// measured by the calibration: traced/untraced − 1 (so 0.03 = 3%
+	// slower). Absent when the calibration did not run.
+	TraceOverhead float64 `json:"trace_overhead,omitempty"`
 }
 
-// SchemaV1 is the current Report.Schema value.
-const SchemaV1 = "efbench/1"
+// SchemaV1 and SchemaV2 are the known Report.Schema values; Finalize stamps
+// V2, Read accepts both.
+const (
+	SchemaV1 = "efbench/1"
+	SchemaV2 = "efbench/2"
+)
 
 // Finalize derives the rate and total fields from the raw counts.
 func (r *Report) Finalize() {
-	r.Schema = SchemaV1
+	r.Schema = SchemaV2
 	r.TotalWallSec = 0
 	for i := range r.Experiments {
 		e := &r.Experiments[i]
@@ -87,8 +99,8 @@ func Read(rd io.Reader) (*Report, error) {
 	if err := json.NewDecoder(rd).Decode(&r); err != nil {
 		return nil, fmt.Errorf("bench: decoding report: %w", err)
 	}
-	if r.Schema != SchemaV1 {
-		return nil, fmt.Errorf("bench: unknown schema %q (want %q)", r.Schema, SchemaV1)
+	if r.Schema != SchemaV1 && r.Schema != SchemaV2 {
+		return nil, fmt.Errorf("bench: unknown schema %q (want %q or %q)", r.Schema, SchemaV1, SchemaV2)
 	}
 	return &r, nil
 }

@@ -18,10 +18,12 @@ func TestReportRoundTrip(t *testing.T) {
 			{ID: "fig6a", WallSec: 0.25, Decisions: 120, Allocations: 480, PlanCacheHits: 900, PlanCacheMisses: 100},
 			{ID: "fig7a", WallSec: 2.5, Decisions: 400, Allocations: 4000, PlanCacheHits: 0, PlanCacheMisses: 0},
 		},
+		SpanCount:     1234,
+		TraceOverhead: 0.021,
 	}
 	r.Finalize()
 
-	if r.Schema != SchemaV1 {
+	if r.Schema != SchemaV2 {
 		t.Fatalf("schema = %q", r.Schema)
 	}
 	if got, want := r.Experiments[0].DecisionsPerSec, 480.0; math.Abs(got-want) > 1e-9 {
@@ -58,6 +60,25 @@ func TestReadRejectsUnknownSchema(t *testing.T) {
 	}
 	if _, err := Read(strings.NewReader(`not json`)); err == nil {
 		t.Fatal("malformed JSON accepted")
+	}
+}
+
+// TestReadAcceptsV1 keeps historical BENCH.json files comparable: a v1
+// document (no tracing calibration fields) still reads cleanly.
+func TestReadAcceptsV1(t *testing.T) {
+	doc := `{"schema":"efbench/1","go_version":"go1.22","quick":false,` +
+		`"experiments":[{"id":"fig6a","wall_sec":1,"decisions":10,"allocations":20,` +
+		`"decisions_per_sec":10,"allocations_per_sec":20,` +
+		`"plan_cache_hits":0,"plan_cache_misses":0,"plan_cache_hit_rate":0}],"total_wall_sec":1}`
+	r, err := Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != SchemaV1 || len(r.Experiments) != 1 {
+		t.Fatalf("v1 read = %+v", r)
+	}
+	if r.SpanCount != 0 || r.TraceOverhead != 0 {
+		t.Errorf("v1 document grew tracing fields: %+v", r)
 	}
 }
 

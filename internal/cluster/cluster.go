@@ -16,6 +16,7 @@ import (
 	"github.com/elasticflow/elasticflow/internal/elastic"
 	"github.com/elasticflow/elasticflow/internal/faults"
 	"github.com/elasticflow/elasticflow/internal/obs"
+	"github.com/elasticflow/elasticflow/internal/obs/tracing"
 	"github.com/elasticflow/elasticflow/internal/serverless"
 	"github.com/elasticflow/elasticflow/internal/topology"
 )
@@ -276,6 +277,7 @@ func (o *Orchestrator) Reconcile() error {
 // window, the previous mirror still bounds the loss.
 func (o *Orchestrator) mirrorLocked(ids []string) {
 	sink := o.platform.Obs()
+	tr := sink.Tracer()
 	for _, id := range ids {
 		if o.workers[id] == 0 {
 			continue
@@ -283,14 +285,18 @@ func (o *Orchestrator) mirrorLocked(ids []string) {
 		if _, still := o.specs[id]; !still {
 			continue
 		}
+		span := tr.Begin(sink.Now(), tracing.SpanCheckpointMirror, id)
 		ck, err := o.ctrl.Snapshot(id)
 		if err != nil {
 			sink.IncError("checkpoint-mirror")
+			tr.End(sink.Now(), span, tracing.A("ok", false))
 			continue
 		}
 		o.mirrors[id] = ck
 		sink.IncMirror()
 		sink.EventNow(obs.KindMirror, id, obs.F("step", ck.Step), obs.F("agent", o.homes[id]))
+		tr.End(sink.Now(), span,
+			tracing.A("ok", true), tracing.A("step", ck.Step), tracing.A("agent", o.homes[id]))
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/elasticflow/elasticflow/internal/obs"
+	"github.com/elasticflow/elasticflow/internal/obs/tracing"
 )
 
 // This file is the agent health monitor and the recovery path it triggers
@@ -37,9 +38,13 @@ func (o *Orchestrator) HealthCheck() []string {
 	}
 	o.mu.Unlock()
 
+	sink := o.platform.Obs()
+	tr := sink.Tracer()
 	var newlyDown []string
 	for _, name := range names {
+		span := tr.Begin(sink.Now(), tracing.SpanHeartbeat, "")
 		_, err := o.ctrl.Ping(name)
+		tr.End(sink.Now(), span, tracing.A("agent", name), tracing.A("ok", err == nil))
 		o.mu.Lock()
 		if err == nil {
 			o.missed[name] = 0

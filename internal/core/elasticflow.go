@@ -18,6 +18,7 @@ import (
 
 	"github.com/elasticflow/elasticflow/internal/job"
 	"github.com/elasticflow/elasticflow/internal/obs"
+	"github.com/elasticflow/elasticflow/internal/obs/tracing"
 	"github.com/elasticflow/elasticflow/internal/plan"
 	"github.com/elasticflow/elasticflow/internal/sched"
 )
@@ -335,6 +336,20 @@ func (e *ElasticFlow) traceAdmit(now float64, cand *job.Job, v admitVerdict) {
 			obs.F("mss_finish_slot", v.mss.FinishSlot))
 	}
 	o.Event(now, obs.KindSchedAdmit, cand.ID, fields...)
+	// The plan span records the feasibility plan behind the verdict under
+	// the candidate's lifecycle root (the platform opens the root before
+	// calling Admit, so auto-parenting lands it there).
+	attrs := []tracing.Attr{tracing.A("reason", v.reason)}
+	if v.victim != "" {
+		attrs = append(attrs, tracing.A("victim", v.victim))
+	}
+	if len(v.mss.Levels) > 0 {
+		attrs = append(attrs,
+			tracing.A("mss_gpus", v.mss.GPUsAt(0)),
+			tracing.A("mss_satisfied", v.mss.Satisfied),
+			tracing.A("mss_finish_slot", v.mss.FinishSlot))
+	}
+	o.Tracer().Emit(now, tracing.SpanPlan, cand.ID, attrs...)
 }
 
 // EarliestDeadline returns the soonest deadline admission control could
@@ -523,6 +538,9 @@ func (e *ElasticFlow) probe(f *plan.Filler, p *prioJob) bool {
 // allocation (§4.4). The returned Decision holds each job's slot-0 worker
 // count and a wake-up time at the next planned allocation change.
 func (e *ElasticFlow) Schedule(now float64, active []*job.Job, g int) sched.Decision {
+	// One sched.epoch span per allocation round — the plan-cache fold over
+	// the active job set (plancache.go runs inside allocate).
+	epoch := e.opts.Obs.Tracer().Begin(now, tracing.SpanSchedEpoch, "")
 	entries, adoptions := e.allocate(now, active, g)
 	// Emit slot-0 allocations and the earliest planned change.
 	dec := sched.Decision{Alloc: make(map[string]int, len(entries))}
@@ -539,6 +557,13 @@ func (e *ElasticFlow) Schedule(now float64, active []*job.Job, g int) sched.Deci
 		dec.Wake = wake
 	}
 	e.traceSchedule(now, g, entries, adoptions)
+	used := 0
+	for _, p := range entries {
+		used += p.cur.GPUsAt(0)
+	}
+	e.opts.Obs.Tracer().End(now, epoch,
+		tracing.A("jobs", len(entries)), tracing.A("spare_rounds", adoptions),
+		tracing.A("used_gpus", used), tracing.A("capacity", g))
 	return dec
 }
 

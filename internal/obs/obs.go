@@ -1,6 +1,10 @@
 package obs
 
-import "time"
+import (
+	"time"
+
+	"github.com/elasticflow/elasticflow/internal/obs/tracing"
+)
 
 // Options configures an Obs.
 type Options struct {
@@ -10,6 +14,10 @@ type Options struct {
 	// and EventNow stamps (default time.Now). Tests and deterministic
 	// replays inject a fake; simulated-time emitters never consult it.
 	Clock func() time.Time
+	// Tracer, when set, records causal job-lifecycle span trees
+	// (DESIGN.md §13). Left nil, every span emission site degrades to a
+	// single nil check — tracing disabled is free.
+	Tracer *tracing.Tracer
 }
 
 // Obs bundles the event bus, the metrics registry, and the standard metric
@@ -22,8 +30,10 @@ type Obs struct {
 	// Metrics is the registry behind GET /metrics.
 	Metrics *Registry
 
-	clock func() time.Time
-	start time.Time
+	clock  func() time.Time
+	start  time.Time
+	tracer *tracing.Tracer
+	slo    sloMonitor
 
 	admissions   *CounterVec   // ef_admissions_total{verdict}
 	completions  *CounterVec   // ef_completions_total{met}
@@ -54,6 +64,10 @@ type Obs struct {
 	storeReplayed    *Counter    // ef_store_replayed_records_total
 	storeRecoverySec *Histogram  // ef_store_recovery_seconds
 	storeTornTails   *Counter    // ef_store_torn_tails_total
+
+	sloBudget *Histogram // ef_slo_deadline_budget_ratio
+	sloFast   *Gauge     // ef_slo_burn_rate_fast
+	sloSlow   *Gauge     // ef_slo_burn_rate_slow
 }
 
 // DecisionBuckets are the fixed upper bounds of ef_sched_decision_seconds:
@@ -112,7 +126,12 @@ func New(opts Options) *Obs {
 		storeReplayed:    m.Counter("ef_store_replayed_records_total", "Journal records replayed through the scheduler during recovery."),
 		storeRecoverySec: m.Histogram("ef_store_recovery_seconds", "Wall time of control-plane state recovery (snapshot load + journal replay).", RecoveryBuckets),
 		storeTornTails:   m.Counter("ef_store_torn_tails_total", "Torn journal tails (partial final records) detected and truncated during recovery."),
+
+		sloBudget: m.Histogram("ef_slo_deadline_budget_ratio", "Fraction of a job's deadline budget consumed at completion ((completion-submit)/(deadline-submit)); >1 is a miss.", BudgetBuckets),
+		sloFast:   m.Gauge("ef_slo_burn_rate_fast", "Deadline-SLO burn rate over the fast (5 min domain-time) window: miss fraction / error budget."),
+		sloSlow:   m.Gauge("ef_slo_burn_rate_slow", "Deadline-SLO burn rate over the slow (1 h domain-time) window: miss fraction / error budget."),
 	}
+	o.tracer = opts.Tracer
 	// Seed the fixed-verdict series so a scrape before the first decision
 	// still shows the catalog.
 	o.admissions.With("admit")
@@ -122,6 +141,16 @@ func New(opts Options) *Obs {
 
 // NewDefault creates an Obs with default options.
 func NewDefault() *Obs { return New(Options{}) }
+
+// Tracer returns the span tracer, or nil when tracing is disabled (or the
+// Obs itself is nil). All tracer methods are nil-safe, so call sites chain
+// without guards: o.Tracer().Emit(...).
+func (o *Obs) Tracer() *tracing.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
 
 // Now returns seconds since the Obs was created per the injected clock —
 // the domain time live (non-simulated) emitters stamp events with.

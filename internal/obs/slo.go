@@ -1,0 +1,145 @@
+package obs
+
+import "sync"
+
+// Deadline-SLO monitor (DESIGN.md §13). The platform's service objective is
+// deadline satisfaction; the monitor turns each job's terminal outcome into
+// three series:
+//
+//   - ef_slo_deadline_budget_ratio: how much of the submit→deadline budget
+//     the job consumed before finishing. <1 met the deadline with slack,
+//     exactly 1 finished on the line, >1 missed.
+//   - ef_slo_burn_rate_fast / ef_slo_burn_rate_slow: the classic
+//     multi-window burn-rate pair — the miss fraction over a short and a
+//     long domain-time window, each divided by the error budget
+//     (1 - SLOTarget). A burn rate of 1 means the platform is missing
+//     deadlines exactly as fast as the SLO tolerates; sustained fast-window
+//     values ≫1 page, slow-window values >1 ticket.
+//
+// Windows are domain time, like every other obs measurement, so the
+// simulator exercises the monitor deterministically and live platforms
+// measure in platform seconds.
+
+const (
+	// SLOTarget is the deadline-satisfaction objective burn rates are
+	// computed against (error budget = 1 - SLOTarget).
+	SLOTarget = 0.9
+	// SLOFastWindowSec is the fast burn-rate window (5 min domain time).
+	SLOFastWindowSec = 300
+	// SLOSlowWindowSec is the slow burn-rate window (1 h domain time).
+	SLOSlowWindowSec = 3600
+	// BudgetRatioCap bounds reported budget ratios so degenerate deadlines
+	// (deadline at or before submission) cannot poison histogram sums.
+	BudgetRatioCap = 10
+)
+
+// BudgetBuckets are the fixed upper bounds of ef_slo_deadline_budget_ratio:
+// dense around 1.0, the met/missed boundary.
+var BudgetBuckets = []float64{
+	0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1, 1.05, 1.1, 1.25, 1.5, 2, 4, BudgetRatioCap,
+}
+
+// sloOutcome is one terminal job outcome at a domain time.
+type sloOutcome struct {
+	t   float64
+	met bool
+}
+
+// sloMonitor keeps the sliding outcome window behind the burn-rate gauges.
+type sloMonitor struct {
+	mu sync.Mutex
+	// outcomes holds terminal outcomes within the slow window, in arrival
+	// order. guarded by mu
+	outcomes []sloOutcome
+	// last is the maximum domain time observed. guarded by mu
+	last float64
+}
+
+// DeadlineBudgetRatio computes the fraction of the submit→deadline budget
+// consumed at completion, capped at BudgetRatioCap. Degenerate budgets
+// (deadline at or before submission) report the cap.
+func DeadlineBudgetRatio(submit, deadline, completion float64) float64 {
+	budget := deadline - submit
+	if budget <= 0 {
+		return BudgetRatioCap
+	}
+	r := (completion - submit) / budget
+	if r < 0 {
+		return 0
+	}
+	if r > BudgetRatioCap {
+		return BudgetRatioCap
+	}
+	return r
+}
+
+// ObserveDeadline records one job's terminal outcome at domain time t:
+// whether the deadline was met and what fraction of the deadline budget was
+// consumed. It feeds the budget histogram and refreshes both burn-rate
+// gauges.
+func (o *Obs) ObserveDeadline(t float64, met bool, budgetRatio float64) {
+	if o == nil {
+		return
+	}
+	o.sloBudget.Observe(budgetRatio)
+	fast, slow := o.slo.add(t, met)
+	o.sloFast.Set(fast)
+	o.sloSlow.Set(slow)
+}
+
+// SLOBurnRates returns the current fast and slow burn rates (both zero
+// before any outcome).
+func (o *Obs) SLOBurnRates() (fast, slow float64) {
+	if o == nil {
+		return 0, 0
+	}
+	o.slo.mu.Lock()
+	defer o.slo.mu.Unlock()
+	return o.slo.ratesLocked()
+}
+
+// add records one outcome and returns the refreshed burn rates.
+func (m *sloMonitor) add(t float64, met bool) (fast, slow float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t > m.last {
+		m.last = t
+	}
+	m.outcomes = append(m.outcomes, sloOutcome{t: t, met: met})
+	// Prune outside the slow window. Outcomes arrive in near-time order
+	// (domain time is monotonic per emitter), so the prefix scan is cheap.
+	cut := m.last - SLOSlowWindowSec
+	i := 0
+	for i < len(m.outcomes) && m.outcomes[i].t < cut {
+		i++
+	}
+	if i > 0 {
+		m.outcomes = append(m.outcomes[:0], m.outcomes[i:]...)
+	}
+	return m.ratesLocked()
+}
+
+func (m *sloMonitor) ratesLocked() (fast, slow float64) {
+	budget := 1 - SLOTarget
+	fastCut := m.last - SLOFastWindowSec
+	var fTot, fMiss, sTot, sMiss int
+	for _, oc := range m.outcomes {
+		sTot++
+		if !oc.met {
+			sMiss++
+		}
+		if oc.t >= fastCut {
+			fTot++
+			if !oc.met {
+				fMiss++
+			}
+		}
+	}
+	if fTot > 0 {
+		fast = float64(fMiss) / float64(fTot) / budget
+	}
+	if sTot > 0 {
+		slow = float64(sMiss) / float64(sTot) / budget
+	}
+	return fast, slow
+}

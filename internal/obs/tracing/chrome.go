@@ -1,0 +1,142 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// Chrome trace-event encoding: the JSON object format every Chromium
+// about:tracing build and Perfetto's trace processor load natively. Each
+// span becomes one complete event (ph "X") with microsecond ts/dur; rows
+// are grouped per job (one tid per job ID, tid 0 for platform-level spans
+// like scheduler epochs and heartbeats).
+//
+// The µs timestamps are lossy renderings for the viewer; the exact span —
+// IDs, float64 start/end seconds, WAL LSN, attributes — rides along in
+// args, so DecodeChrome(EncodeChrome(spans)) reproduces the input spans
+// exactly (the round-trip test holds this to reflect.DeepEqual).
+
+// chromeTrace is the top-level trace-event JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// chromeEvent is one complete ("X") trace event.
+type chromeEvent struct {
+	Name string     `json:"name"`
+	Cat  string     `json:"cat"`
+	Ph   string     `json:"ph"`
+	Ts   float64    `json:"ts"`
+	Dur  float64    `json:"dur"`
+	Pid  int        `json:"pid"`
+	Tid  int        `json:"tid"`
+	Args chromeArgs `json:"args"`
+}
+
+// chromeArgs carries the exact span so decoding is lossless.
+type chromeArgs struct {
+	SpanID string  `json:"span_id"`
+	Parent string  `json:"parent,omitempty"`
+	Job    string  `json:"job,omitempty"`
+	LSN    uint64  `json:"lsn,omitempty"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	Open   bool    `json:"open,omitempty"`
+	Attrs  []Attr  `json:"attrs,omitempty"`
+}
+
+// EncodeChrome renders spans as a Chrome trace-event / Perfetto-loadable
+// JSON document. Encoding is deterministic: events appear in input order
+// and tids are assigned per job ID in first-appearance order.
+func EncodeChrome(spans []Span) ([]byte, error) {
+	tids := make(map[string]int)
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		tid := 0
+		if s.JobID != "" {
+			id, ok := tids[s.JobID]
+			if !ok {
+				id = len(tids) + 1
+				tids[s.JobID] = id
+			}
+			tid = id
+		}
+		dur := (s.End - s.Start) * 1e6
+		if dur < 1 {
+			dur = 1 // keep instant spans visible in the viewer
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  "elasticflow",
+			Ph:   "X",
+			Ts:   s.Start * 1e6,
+			Dur:  dur,
+			Pid:  1,
+			Tid:  tid,
+			Args: chromeArgs{
+				SpanID: spanIDString(s.ID),
+				Parent: parentString(s.Parent),
+				Job:    s.JobID,
+				LSN:    s.LSN,
+				Start:  s.Start,
+				End:    s.End,
+				Open:   s.Open,
+				Attrs:  s.Attrs,
+			},
+		})
+	}
+	return json.MarshalIndent(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+}
+
+// DecodeChrome reconstructs the exact spans from an EncodeChrome document.
+func DecodeChrome(data []byte) ([]Span, error) {
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("tracing: decode chrome trace: %w", err)
+	}
+	spans := make([]Span, 0, len(tr.TraceEvents))
+	for i, ev := range tr.TraceEvents {
+		id, err := parseSpanID(ev.Args.SpanID)
+		if err != nil {
+			return nil, fmt.Errorf("tracing: event %d: bad span_id %q: %w", i, ev.Args.SpanID, err)
+		}
+		var parent uint64
+		if ev.Args.Parent != "" {
+			parent, err = parseSpanID(ev.Args.Parent)
+			if err != nil {
+				return nil, fmt.Errorf("tracing: event %d: bad parent %q: %w", i, ev.Args.Parent, err)
+			}
+		}
+		spans = append(spans, Span{
+			ID:     id,
+			Parent: parent,
+			Name:   ev.Name,
+			JobID:  ev.Args.Job,
+			Start:  ev.Args.Start,
+			End:    ev.Args.End,
+			LSN:    ev.Args.LSN,
+			Open:   ev.Args.Open,
+			Attrs:  ev.Args.Attrs,
+		})
+	}
+	return spans, nil
+}
+
+// spanIDString renders a span ID as fixed-width hex — JSON numbers cannot
+// carry a full uint64 losslessly through every viewer.
+func spanIDString(id uint64) string {
+	return fmt.Sprintf("%016x", id)
+}
+
+func parentString(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	return spanIDString(id)
+}
+
+func parseSpanID(s string) (uint64, error) {
+	return strconv.ParseUint(s, 16, 64)
+}

@@ -1,0 +1,176 @@
+package tracing
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// emitLifecycle drives one representative span sequence against tr.
+func emitLifecycle(tr *Tracer) {
+	tr.StartJob(0, "job-0001")
+	tr.EmitLSN(0, SpanAdmit, "job-0001", 3, A("verdict", "admit"))
+	tr.Emit(0, SpanPlan, "job-0001", A("mss_gpus", 2))
+	ep := tr.Begin(0, SpanSchedEpoch, "")
+	tr.End(0, ep, A("used_gpus", 2))
+	tr.Emit(0, SpanPlace, "job-0001", A("gpus", "0->2"))
+	tr.EmitLSN(50, SpanRescale, "job-0001", 7, A("gpus", "2->4"))
+	tr.EndJob(100, "job-0001", 9, A("deadline_met", true))
+}
+
+func TestDeterministicIDs(t *testing.T) {
+	a, b := New(42), New(42)
+	emitLifecycle(a)
+	emitLifecycle(b)
+	aj, err := json.Marshal(a.Spans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b.Spans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatalf("same seed, same calls, different trails:\n%s\nvs\n%s", aj, bj)
+	}
+	c := New(43)
+	emitLifecycle(c)
+	if cj, _ := json.Marshal(c.Spans()); string(cj) == string(aj) {
+		t.Fatal("different seeds produced identical span IDs")
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	tr := New(1)
+	emitLifecycle(tr)
+	spans := tr.Spans()
+	if len(spans) != 6 {
+		t.Fatalf("got %d spans, want 6: %+v", len(spans), spans)
+	}
+	var root Span
+	byName := make(map[string]Span)
+	for _, s := range spans {
+		byName[s.Name] = s
+		if s.Name == SpanJobLifecycle {
+			root = s
+		}
+	}
+	if root.ID == 0 {
+		t.Fatal("no job.lifecycle root recorded")
+	}
+	if root.Open {
+		t.Fatal("root still open after EndJob")
+	}
+	if root.Start != 0 || root.End != 100 {
+		t.Fatalf("root spans [%v,%v], want [0,100]", root.Start, root.End)
+	}
+	if root.LSN != 9 {
+		t.Fatalf("root LSN = %d, want 9 (stamped at EndJob)", root.LSN)
+	}
+	for _, name := range []string{SpanAdmit, SpanPlan, SpanPlace, SpanRescale} {
+		if byName[name].Parent != root.ID {
+			t.Errorf("%s parent = %x, want root %x", name, byName[name].Parent, root.ID)
+		}
+	}
+	if byName[SpanSchedEpoch].Parent != 0 {
+		t.Errorf("sched.epoch should be a root span, has parent %x", byName[SpanSchedEpoch].Parent)
+	}
+	if byName[SpanAdmit].LSN != 3 {
+		t.Errorf("admit LSN = %d, want 3", byName[SpanAdmit].LSN)
+	}
+	job := tr.Job("job-0001")
+	if len(job) != 5 {
+		t.Fatalf("Job() returned %d spans, want 5", len(job))
+	}
+}
+
+func TestOpenSpansExported(t *testing.T) {
+	tr := New(2)
+	tr.StartJob(10, "job-a")
+	spans := tr.Spans()
+	if len(spans) != 1 || !spans[0].Open || spans[0].Name != SpanJobLifecycle {
+		t.Fatalf("open root not exported: %+v", spans)
+	}
+	if spans[0].Start != 10 || spans[0].End != 10 {
+		t.Fatalf("open span times = [%v,%v], want [10,10]", spans[0].Start, spans[0].End)
+	}
+	// Idempotent StartJob: replaying the admission must not fork a second root.
+	tr.StartJob(11, "job-a")
+	if n := len(tr.Spans()); n != 1 {
+		t.Fatalf("duplicate StartJob forked a second root (%d spans)", n)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(3).WithCap(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(float64(i), SpanHeartbeat, "")
+	}
+	if got := len(tr.Spans()); got != 4 {
+		t.Fatalf("ring holds %d spans, want 4", got)
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	if tr.Count() != 10 {
+		t.Fatalf("count = %d, want 10", tr.Count())
+	}
+	if first := tr.Spans()[0]; first.Start != 6 {
+		t.Fatalf("oldest surviving span starts at %v, want 6 (FIFO eviction)", first.Start)
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	tr.StartJob(0, "j")
+	tr.EndJob(1, "j", 0)
+	ref := tr.Begin(0, SpanSchedEpoch, "")
+	if ref.Valid() {
+		t.Fatal("nil tracer handed out a valid ref")
+	}
+	tr.End(1, ref)
+	tr.Emit(0, SpanAdmit, "j")
+	tr.EmitLSN(0, SpanAdmit, "j", 1)
+	if tr.Spans() != nil || tr.Job("j") != nil || tr.Count() != 0 || tr.Dropped() != 0 || tr.Seed() != 0 {
+		t.Fatal("nil tracer accessors must return zero values")
+	}
+	if tr.WithCap(8) != nil {
+		t.Fatal("nil WithCap must stay nil")
+	}
+}
+
+func TestEndUnknownRef(t *testing.T) {
+	tr := New(4)
+	tr.End(1, Ref{})          // invalid
+	tr.End(1, Ref{id: 12345}) // never begun
+	tr.EndJob(1, "ghost", 0)  // never started
+	ref := tr.Begin(0, SpanHeartbeat, "")
+	tr.End(1, ref)
+	tr.End(2, ref) // double End is a no-op
+	if n := len(tr.Spans()); n != 1 {
+		t.Fatalf("got %d spans, want 1", n)
+	}
+}
+
+func TestConcurrentEmission(t *testing.T) {
+	tr := New(5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			job := "job-" + string(rune('a'+g))
+			tr.StartJob(0, job)
+			for i := 0; i < 100; i++ {
+				ref := tr.Begin(float64(i), SpanHeartbeat, "")
+				tr.End(float64(i), ref)
+				tr.Emit(float64(i), SpanRescale, job)
+			}
+			tr.EndJob(100, job, 0)
+		}(g)
+	}
+	wg.Wait()
+	if got, want := tr.Count(), uint64(8*(1+200)); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/elasticflow/elasticflow/internal/job"
 	"github.com/elasticflow/elasticflow/internal/obs"
+	"github.com/elasticflow/elasticflow/internal/obs/tracing"
 )
 
 // This file is the platform's §4.4 fault model on the live path, mirroring
@@ -97,6 +98,9 @@ func (p *Platform) applyNodeDownLocked(server int, now float64) ([]string, error
 	p.ef.InvalidatePlanCache()
 	p.eventLocked(now, obs.KindFailure, "",
 		obs.F("server", server), obs.F("evicted", len(evicted)))
+	for _, id := range evicted {
+		p.tr.EmitLSN(now, tracing.SpanNodeDownRecover, id, p.curLSN, tracing.A("server", server))
+	}
 	p.recheckGuaranteesLocked(now)
 	p.rescheduleLocked(now)
 	return evicted, nil

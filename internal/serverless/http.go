@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"github.com/elasticflow/elasticflow/internal/obs"
+	"github.com/elasticflow/elasticflow/internal/obs/tracing"
 )
 
 // Handler returns the HTTP control plane for the platform:
@@ -21,7 +22,10 @@ import (
 //	POST   /v1/cluster/servers/{id}/up     return a server to the pool
 //	GET    /v1/plan        planned future allocations (Algorithm 2 output)
 //	GET    /metrics        Prometheus text exposition of the obs registry
-//	GET    /debug/events   structured event log (?since=<seq> for the tail)
+//	GET    /debug/events   structured event log (?since=<seq> for the tail,
+//	                       &limit=<n> to page)
+//	GET    /debug/trace    span trail as Chrome trace-event JSON, loadable
+//	                       in Perfetto (?job=<id> for one job's tree)
 //
 // It stands in for the prototype's gRPC control messages (§5) using only
 // the standard library.
@@ -151,10 +155,50 @@ func Handler(p *Platform) http.Handler {
 			}
 			since = v
 		}
-		writeJSON(o, w, http.StatusOK, EventsPage{
-			Events: o.Bus.Since(since + 1),
-			Next:   o.Bus.LastSeq(),
-		})
+		limit := 0
+		if s := r.URL.Query().Get("limit"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				writeError(o, w, http.StatusBadRequest, errors.New("limit must be a positive integer"))
+				return
+			}
+			limit = v
+		}
+		events := o.Bus.Since(since + 1)
+		next := o.Bus.LastSeq()
+		if limit > 0 && len(events) > limit {
+			// Truncated page: the cursor points at the last event returned,
+			// so the next ?since=<next> poll resumes exactly after it.
+			events = events[:limit]
+			next = events[len(events)-1].Seq
+		}
+		writeJSON(o, w, http.StatusOK, EventsPage{Events: events, Next: next})
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(o, w, http.StatusMethodNotAllowed, errors.New("use GET"))
+			return
+		}
+		tr := o.Tracer()
+		if tr == nil {
+			writeError(o, w, http.StatusNotFound, errors.New("tracing is not enabled"))
+			return
+		}
+		spans := tr.Spans()
+		if job := r.URL.Query().Get("job"); job != "" {
+			spans = tr.Job(job)
+		}
+		data, err := tracing.EncodeChrome(spans)
+		if err != nil {
+			o.IncEncodeError()
+			writeError(o, w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write(data); err != nil {
+			o.IncEncodeError()
+			o.EventNow(obs.KindError, "", obs.F("op", "trace-write"), obs.F("err", err.Error()))
+		}
 	})
 	return mux
 }

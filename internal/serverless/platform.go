@@ -17,6 +17,7 @@ import (
 	"github.com/elasticflow/elasticflow/internal/job"
 	"github.com/elasticflow/elasticflow/internal/model"
 	"github.com/elasticflow/elasticflow/internal/obs"
+	"github.com/elasticflow/elasticflow/internal/obs/tracing"
 	"github.com/elasticflow/elasticflow/internal/store"
 	"github.com/elasticflow/elasticflow/internal/throughput"
 	"github.com/elasticflow/elasticflow/internal/topology"
@@ -149,6 +150,14 @@ type Platform struct {
 	dropped   int                 // journaled; guarded by mu
 	observer  func(map[string]int)
 	obs       *obs.Obs
+	// tr is the span tracer (nil-safe; nil when tracing is disabled).
+	tr *tracing.Tracer
+	// curLSN is the journal LSN of the mutation record currently being
+	// applied — the flight-recorder correlation stamped onto every span the
+	// apply emits. The live path sets it at append time, replay sets it
+	// from the record being replayed, so the two produce identical spans.
+	// Zero on a storeless platform. guarded by mu
+	curLSN uint64
 
 	// down marks servers declared failed via NodeDown. journaled; guarded by mu
 	down map[int]bool
@@ -231,6 +240,7 @@ func newPlatform(opts Options) (*Platform, error) {
 	return &Platform{
 		observer:   opts.Observer,
 		obs:        o,
+		tr:         o.Tracer(),
 		ef:         ef,
 		cluster:    cluster,
 		est:        est,
@@ -336,6 +346,9 @@ func (p *Platform) applySubmitLocked(req SubmitRequest, now float64) (JobStatus,
 		return JobStatus{}, err
 	}
 	p.all[j.ID] = j
+	// Open the lifecycle root before admission so the scheduler's plan
+	// span lands under it; a drop closes the tree immediately.
+	p.tr.StartJob(now, j.ID)
 	stop := p.obs.Timer()
 	admitted := p.ef.Admit(now, j, p.active, p.capLocked())
 	p.obs.ObserveDecision("admit", stop())
@@ -345,6 +358,8 @@ func (p *Platform) applySubmitLocked(req SubmitRequest, now float64) (JobStatus,
 		p.eventLocked(now, obs.KindAdmit, j.ID,
 			obs.F("model", j.Model.Name), obs.F("class", j.Class.String()))
 		p.obs.IncAdmission("admit")
+		p.tr.EmitLSN(now, tracing.SpanAdmit, j.ID, p.curLSN,
+			tracing.A("verdict", "admit"), tracing.A("model", j.Model.Name), tracing.A("class", j.Class.String()))
 		p.rescheduleLocked(now)
 	} else {
 		j.State = job.Dropped
@@ -357,6 +372,9 @@ func (p *Platform) applySubmitLocked(req SubmitRequest, now float64) (JobStatus,
 			obs.F("model", j.Model.Name), obs.F("reason", "admission control"),
 			obs.F("earliest_feasible_sec", st.EarliestFeasibleSec))
 		p.obs.IncAdmission("drop")
+		p.tr.EmitLSN(now, tracing.SpanAdmit, j.ID, p.curLSN,
+			tracing.A("verdict", "drop"), tracing.A("earliest_feasible_sec", st.EarliestFeasibleSec))
+		p.tr.EndJob(now, j.ID, p.curLSN, tracing.A("outcome", "dropped"))
 		return st, nil
 	}
 	return p.statusLocked(j), nil
@@ -439,6 +457,7 @@ func (p *Platform) applyCancelLocked(id string, now float64) error {
 	j.State = job.Dropped
 	delete(p.infeasible, id)
 	p.eventLocked(now, obs.KindCancel, id)
+	p.tr.EndJob(now, id, p.curLSN, tracing.A("outcome", "cancelled"))
 	p.rescheduleLocked(now)
 	return nil
 }
@@ -563,6 +582,17 @@ func (p *Platform) advanceToLocked(now float64) {
 		met := j.MetDeadline()
 		p.eventLocked(now, obs.KindComplete, j.ID, obs.F("met", met))
 		p.obs.IncCompletion(met)
+		if met {
+			p.tr.EmitLSN(now, tracing.SpanComplete, j.ID, p.curLSN,
+				tracing.A("iters", j.TotalIters), tracing.A("rescales", j.Rescales))
+		} else {
+			p.tr.EmitLSN(now, tracing.SpanMiss, j.ID, p.curLSN,
+				tracing.A("iters", j.TotalIters), tracing.A("rescales", j.Rescales))
+		}
+		p.tr.EndJob(now, j.ID, p.curLSN, tracing.A("deadline_met", met))
+		if j.HasDeadline() {
+			p.obs.ObserveDeadline(now, met, obs.DeadlineBudgetRatio(j.SubmitTime, j.Deadline, now))
+		}
 		changed = true
 	}
 	p.active = kept
@@ -604,6 +634,8 @@ func (p *Platform) rescheduleLocked(now float64) {
 			for _, m := range migs {
 				p.eventLocked(now, obs.KindMigrate, m.JobID, obs.F("from", m.From), obs.F("to", m.To))
 				p.obs.IncMigration()
+				p.tr.EmitLSN(now, tracing.SpanMigrate, m.JobID, p.curLSN,
+					tracing.A("from", m.From), tracing.A("to", m.To))
 			}
 			started := j.GPUs > 0 || j.DoneIters > 0
 			if started {
@@ -612,6 +644,10 @@ func (p *Platform) rescheduleLocked(now float64) {
 				p.eventLocked(now, obs.KindRescale, j.ID, obs.F("gpus", ng))
 				p.obs.IncRescale()
 				p.obs.IncJobRescale(j.ID)
+				p.tr.EmitLSN(now, tracing.SpanRescale, j.ID, p.curLSN,
+					tracing.A("gpus", ng), tracing.A("was", j.GPUs))
+			} else {
+				p.tr.EmitLSN(now, tracing.SpanPlace, j.ID, p.curLSN, tracing.A("gpus", ng))
 			}
 			j.State = job.Running
 		} else {

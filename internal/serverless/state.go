@@ -85,11 +85,15 @@ func (p *Platform) journalingLocked() bool {
 //
 //eflint:journal append
 func (p *Platform) journalLocked(kind string, t float64, body any, durable bool) error {
-	if _, err := p.store.Append(kind, t, body, durable); err != nil {
+	lsn, err := p.store.Append(kind, t, body, durable)
+	if err != nil {
 		p.broken = fmt.Errorf("serverless: journal failed, refusing further mutations: %w", err)
 		p.obs.EventNow(obs.KindError, "", obs.F("op", "journal-append"), obs.F("err", err.Error()))
 		return p.broken
 	}
+	// The apply that follows stamps its spans with this record's LSN —
+	// replay restores the same value from the record itself.
+	p.curLSN = lsn
 	return nil
 }
 
@@ -487,6 +491,7 @@ func Recover(opts Options) (*Platform, error) {
 //
 //eflint:journal replay
 func (p *Platform) replayRecordLocked(rec store.Record) error {
+	p.curLSN = rec.LSN
 	switch rec.Kind {
 	case recAdvance:
 		p.replayPos++

@@ -13,6 +13,7 @@ import (
 
 	"github.com/elasticflow/elasticflow/internal/job"
 	"github.com/elasticflow/elasticflow/internal/obs"
+	"github.com/elasticflow/elasticflow/internal/obs/tracing"
 	"github.com/elasticflow/elasticflow/internal/sched"
 	"github.com/elasticflow/elasticflow/internal/topology"
 )
@@ -183,6 +184,10 @@ type engine struct {
 	g       int
 	cluster *topology.Cluster
 	sched   sched.Scheduler
+	// tr is Config.Obs's tracer (nil when tracing is off). Spans carry
+	// LSN 0 here: the simulator has no write-ahead journal to correlate
+	// against.
+	tr *tracing.Tracer
 
 	now     float64
 	wake    float64 // scheduler-requested wake-up; 0 = none
@@ -247,6 +252,7 @@ func Run(cfg Config, jobs []*job.Job, traceName string) (Result, error) {
 		g:       cluster.TotalGPUs(),
 		cluster: cluster,
 		sched:   cfg.Scheduler,
+		tr:      cfg.Obs.Tracer(),
 		pending: pending,
 		stats:   make(map[string]*JobResult, len(pending)),
 		res:     &Result{Scheduler: cfg.Scheduler.Name(), Trace: traceName},
@@ -428,6 +434,18 @@ func (e *engine) completeDone() bool {
 		e.completed++
 		e.logEvent(obs.KindComplete, j.ID, obs.F("met", st.Met))
 		e.cfg.Obs.IncCompletion(st.Met)
+		if st.Met {
+			e.tr.Emit(e.now, tracing.SpanComplete, j.ID,
+				tracing.A("iters", j.TotalIters), tracing.A("rescales", j.Rescales))
+		} else {
+			e.tr.Emit(e.now, tracing.SpanMiss, j.ID,
+				tracing.A("iters", j.TotalIters), tracing.A("rescales", j.Rescales))
+		}
+		e.tr.EndJob(e.now, j.ID, 0, tracing.A("deadline_met", st.Met))
+		if j.HasDeadline() {
+			e.cfg.Obs.ObserveDeadline(e.now, st.Met,
+				obs.DeadlineBudgetRatio(j.SubmitTime, j.Deadline, e.now))
+		}
 		changed = true
 	}
 	e.active = kept
@@ -443,6 +461,9 @@ func (e *engine) admitArrivals() bool {
 		e.submitted++
 		st := &JobResult{ID: j.ID, Class: j.Class, Submit: j.SubmitTime, Deadline: j.Deadline}
 		e.stats[j.ID] = st
+		// Open the lifecycle root before the admission call so the
+		// scheduler's plan span lands under it.
+		e.tr.StartJob(e.now, j.ID)
 		stop := e.cfg.Obs.Timer()
 		admitted := e.sched.Admit(e.now, j, e.active, e.avail())
 		e.cfg.Obs.ObserveDecision("admit", stop())
@@ -451,6 +472,8 @@ func (e *engine) admitArrivals() bool {
 			e.active = append(e.active, j)
 			e.logEvent(obs.KindAdmit, j.ID)
 			e.cfg.Obs.IncAdmission("admit")
+			e.tr.Emit(e.now, tracing.SpanAdmit, j.ID,
+				tracing.A("verdict", "admit"), tracing.A("class", j.Class.String()))
 			changed = true
 		} else {
 			j.State = job.Dropped
@@ -458,6 +481,9 @@ func (e *engine) admitArrivals() bool {
 			e.dropped++
 			e.logEvent(obs.KindDrop, j.ID, obs.F("reason", "admission control"))
 			e.cfg.Obs.IncAdmission("drop")
+			e.tr.Emit(e.now, tracing.SpanAdmit, j.ID,
+				tracing.A("verdict", "drop"), tracing.A("class", j.Class.String()))
+			e.tr.EndJob(e.now, j.ID, 0, tracing.A("outcome", "dropped"))
 		}
 	}
 	return changed
@@ -490,6 +516,8 @@ func (e *engine) applyFailures() bool {
 						// resumes from its checkpoint elsewhere.
 						j.GPUs = 0
 						j.State = job.Admitted
+						e.tr.Emit(e.now, tracing.SpanNodeDownRecover, id,
+							tracing.A("server", ev.server))
 					}
 				}
 				if err := e.cluster.Reserve(reservation, block); err != nil {
@@ -569,6 +597,8 @@ func (e *engine) reschedule() {
 			for _, m := range migs {
 				e.logEvent(obs.KindMigrate, m.JobID, obs.F("from", m.From), obs.F("to", m.To))
 				e.cfg.Obs.IncMigration()
+				e.tr.Emit(e.now, tracing.SpanMigrate, m.JobID,
+					tracing.A("from", m.From), tracing.A("to", m.To))
 				if other := e.findActive(m.JobID); other != nil && !e.cfg.NoOverheads {
 					e.freeze(other)
 				}
@@ -577,6 +607,15 @@ func (e *engine) reschedule() {
 	}
 	for _, c := range changes {
 		started := c.j.GPUs > 0 || c.j.DoneIters > 0
+		if c.newG > 0 {
+			if started {
+				e.tr.Emit(e.now, tracing.SpanRescale, c.j.ID,
+					tracing.A("gpus", c.newG), tracing.A("was", c.j.GPUs))
+			} else {
+				e.tr.Emit(e.now, tracing.SpanPlace, c.j.ID,
+					tracing.A("gpus", c.newG))
+			}
+		}
 		c.j.GPUs = c.newG
 		if c.newG > 0 {
 			c.j.State = job.Running
