@@ -7,7 +7,7 @@ GO ?= go
 # The wall-time-gated benchmarks CI compares between the PR base and head.
 BENCH_GATE = BenchmarkFig6aTestbedSmall|BenchmarkFig7aAllocationTimeline
 
-.PHONY: all build test vet lint race fuzz-smoke obs-check faults-check store-check trace-check ci ci-sync-check bench bench-base
+.PHONY: all build test vet lint race fuzz-smoke obs-check faults-check store-check trace-check transfer-check ci ci-sync-check bench bench-base
 
 all: build test
 
@@ -49,6 +49,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzFill -fuzztime=10s ./internal/plan/
 	$(GO) test -run=^$$ -fuzz=FuzzAdmissionControl -fuzztime=10s ./internal/core/
 	$(GO) test -run=^$$ -fuzz=FuzzJournalRoundTrip -fuzztime=10s ./internal/store/
+	$(GO) test -run=^$$ -fuzz=FuzzCheckpointTransfer -fuzztime=10s ./internal/transfer/
 
 # obs-check exercises the observability core under the race detector (the
 # bus and registry are the only pieces shared across goroutines by design)
@@ -83,7 +84,17 @@ trace-check:
 	$(GO) test -race ./internal/obs/tracing/ ./internal/sim/
 	$(GO) run ./cmd/efsim -seed 7 -jobs 40 -trace-out trace.json
 
-ci: build vet lint race fuzz-smoke obs-check faults-check store-check trace-check
+# transfer-check exercises the checkpoint data plane (DESIGN.md §14) under
+# the race detector: chunk framing, CRC verification and resume logic in
+# internal/transfer, plus the end-to-end fetch/push/migrate and torn-mirror
+# suites that ride it in internal/agent and internal/cluster, then lints the
+# data-plane package with the repo's analyzers.
+transfer-check:
+	$(GO) test -race ./internal/transfer/
+	$(GO) test -race -run 'Transfer|Staged|Chunk' ./internal/agent/ ./internal/cluster/
+	$(GO) run ./cmd/eflint ./internal/transfer/
+
+ci: build vet lint race fuzz-smoke obs-check faults-check store-check trace-check transfer-check
 
 # bench runs the gated benchmarks and, when a baseline exists, applies the
 # same regression gate CI does. Capture the baseline on the base commit with

@@ -68,6 +68,10 @@ type LaunchArgs struct {
 	// Resume, when non-nil, restores training from a checkpoint — the
 	// migration path (§5).
 	Resume *elastic.Checkpoint
+	// ResumeStaged restores from the checkpoint a chunked push staged on
+	// this agent (CommitPush) instead of carrying the state inline — the
+	// data-plane migration path. The staged entry is consumed.
+	ResumeStaged bool
 }
 
 // LaunchReply reports the launched configuration.
@@ -90,10 +94,20 @@ type StepReply struct {
 }
 
 // StopArgs checkpoints and removes a job from the agent.
-type StopArgs struct{ JobID string }
+type StopArgs struct {
+	JobID string
+	// Detach pins the final checkpoint's sized encoding on the agent for
+	// chunked fetch instead of shipping it inline: StopReply.Offer
+	// describes the pinned bytes and Checkpoint stays zero.
+	Detach bool
+}
 
-// StopReply carries the final checkpoint.
-type StopReply struct{ Checkpoint elastic.Checkpoint }
+// StopReply carries the final checkpoint — inline, or as a transfer offer
+// when the stop detached it for chunked fetch.
+type StopReply struct {
+	Checkpoint elastic.Checkpoint
+	Offer      *TransferOffer
+}
 
 // PingArgs is the empty heartbeat request.
 type PingArgs struct{}
@@ -133,6 +147,17 @@ type Agent struct {
 	mu sync.Mutex
 	// tasks maps job IDs to their live training tasks. guarded by mu
 	tasks map[string]*task
+	// xferSeq numbers outbound transfer IDs. guarded by mu
+	xferSeq int
+	// reads maps transfer ID → checkpoint encoding pinned for chunked
+	// fetch. guarded by mu
+	reads map[string]*pinned
+	// writes maps push transfer ID → in-progress inbound buffer.
+	// guarded by mu
+	writes map[string]*inbound
+	// staged maps job ID → checkpoint landed by a committed push, awaiting
+	// a ResumeStaged launch. guarded by mu
+	staged map[string]*elastic.Checkpoint
 }
 
 type task struct {
@@ -142,7 +167,13 @@ type task struct {
 
 // NewAgent creates an agent named for diagnostics.
 func NewAgent(name string) *Agent {
-	return &Agent{name: name, tasks: make(map[string]*task)}
+	return &Agent{
+		name:   name,
+		tasks:  make(map[string]*task),
+		reads:  make(map[string]*pinned),
+		writes: make(map[string]*inbound),
+		staged: make(map[string]*elastic.Checkpoint),
+	}
 }
 
 // WithObs routes the agent's background errors into o and returns a for
@@ -167,6 +198,16 @@ func (a *Agent) Launch(args LaunchArgs, reply *LaunchReply) error {
 	defer a.mu.Unlock()
 	if _, ok := a.tasks[args.JobID]; ok {
 		return fmt.Errorf("agent %s: job %s already running", a.name, args.JobID)
+	}
+	if args.ResumeStaged {
+		ck, ok := a.staged[args.JobID]
+		if !ok {
+			return fmt.Errorf("agent %s: no staged checkpoint for job %s", a.name, args.JobID)
+		}
+		if err := tr.Restore(*ck); err != nil {
+			return err
+		}
+		delete(a.staged, args.JobID)
 	}
 	a.tasks[args.JobID] = &task{spec: args.Spec, trainer: tr}
 	*reply = LaunchReply{Workers: tr.Workers(), LocalBatch: tr.LocalBatch(), Step: tr.Step()}
@@ -203,15 +244,23 @@ func (a *Agent) Step(args StepArgs, reply *StepReply) error {
 	return nil
 }
 
-// Stop implements the RPC: checkpoint the job and remove it.
+// Stop implements the RPC: checkpoint the job and remove it. With Detach
+// the checkpoint stays on the agent, pinned for chunked fetch, and only
+// its offer travels inline.
 func (a *Agent) Stop(args StopArgs, reply *StopReply) error {
 	t, err := a.get(args.JobID)
 	if err != nil {
 		return err
 	}
-	reply.Checkpoint = t.trainer.Checkpoint()
+	ck := t.trainer.Checkpoint()
 	a.mu.Lock()
 	delete(a.tasks, args.JobID)
+	if args.Detach {
+		offer := a.pinLocked(args.JobID, ck.EncodeBytes())
+		reply.Offer = &offer
+	} else {
+		reply.Checkpoint = ck
+	}
 	a.mu.Unlock()
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"github.com/elasticflow/elasticflow/internal/elastic"
 	"github.com/elasticflow/elasticflow/internal/faults"
 	"github.com/elasticflow/elasticflow/internal/obs"
+	"github.com/elasticflow/elasticflow/internal/transfer"
 )
 
 // Controller is the scheduler-side endpoint of the control plane: it tracks
@@ -34,12 +35,13 @@ type Controller struct {
 	opts ControllerOptions
 
 	mu      sync.Mutex
-	clients map[string]faults.Caller // agent name → connection. guarded by mu
-	addrs   map[string]string        // agent name → dial address. guarded by mu
-	down    map[string]bool          // agents explicitly Disconnected. guarded by mu
-	specs   map[string]TaskSpec      // job → spec. guarded by mu
-	homes   map[string]string        // job → agent name. guarded by mu
-	rng     *rand.Rand               // backoff jitter. guarded by mu
+	clients map[string]faults.Caller  // agent name → connection. guarded by mu
+	addrs   map[string]string         // agent name → dial address. guarded by mu
+	down    map[string]bool           // agents explicitly Disconnected. guarded by mu
+	specs   map[string]TaskSpec       // job → spec. guarded by mu
+	homes   map[string]string         // job → agent name. guarded by mu
+	rng     *rand.Rand                // backoff jitter. guarded by mu
+	gates   map[string]*transfer.Gate // agent name → transfer admission. guarded by mu
 }
 
 // ControllerOptions tunes the controller's RPC robustness policy. The zero
@@ -65,6 +67,12 @@ type ControllerOptions struct {
 	Dial func(name, addr string) (faults.Caller, error)
 	// Obs receives retry counters and events; nil is fine.
 	Obs *obs.Obs
+	// ChunkSize is the checkpoint-transfer frame payload size (default
+	// transfer.DefaultChunkSize).
+	ChunkSize int
+	// TransferCap bounds concurrent checkpoint transfers per agent
+	// (default transfer.DefaultTransferCap). Negative disables the gate.
+	TransferCap int
 }
 
 // DefaultDial opens a plain net/rpc TCP connection.
@@ -145,6 +153,7 @@ func NewControllerWith(opts ControllerOptions) *Controller {
 		specs:   make(map[string]TaskSpec),
 		homes:   make(map[string]string),
 		rng:     rand.New(rand.NewSource(opts.Seed)),
+		gates:   make(map[string]*transfer.Gate),
 	}
 }
 
@@ -464,17 +473,41 @@ func (c *Controller) Migrate(jobID, toAgent string, workers int) (LaunchReply, e
 }
 
 func (c *Controller) move(jobID string, spec TaskSpec, from, to string, workers int) (LaunchReply, error) {
+	if from == to {
+		// In-place rescale: no link is crossed, the checkpoint travels
+		// inline with the stop/launch pair.
+		var stopped StopReply
+		if err := c.call(from, "Agent.Stop", StopArgs{JobID: jobID}, &stopped); err != nil {
+			return LaunchReply{}, err
+		}
+		c.mu.Lock()
+		delete(c.homes, jobID)
+		c.mu.Unlock()
+		ck := stopped.Checkpoint
+		return c.launch(jobID, spec, to, workers, &ck)
+	}
+	// Cross-agent migration rides the data plane: the source pins the
+	// final checkpoint (Detach), the controller fetches it as CRC-framed
+	// chunks and pushes it to the target, and the target launches from
+	// its staged copy — real bytes move, with resumption and per-chunk
+	// verification, instead of one opaque inline blob.
 	var stopped StopReply
-	if err := c.call(from, "Agent.Stop", StopArgs{JobID: jobID}, &stopped); err != nil {
+	if err := c.call(from, "Agent.Stop", StopArgs{JobID: jobID, Detach: true}, &stopped); err != nil {
 		return LaunchReply{}, err
 	}
 	c.mu.Lock()
 	delete(c.homes, jobID)
 	c.mu.Unlock()
-	ck := stopped.Checkpoint
-	reply, err := c.launch(jobID, spec, to, workers, &ck)
-	if err == nil || to == from {
-		return reply, err
+	if stopped.Offer == nil {
+		return LaunchReply{}, fmt.Errorf("agent: %s detached %s but offered no transfer", from, jobID)
+	}
+	ck, _, err := c.fetchOffer(jobID, from, *stopped.Offer, false)
+	if err != nil {
+		return LaunchReply{}, fmt.Errorf("agent: fetching checkpoint of %s from %s: %w", jobID, from, err)
+	}
+	reply, err := c.ResumeStaged(jobID, spec, to, workers, ck, false)
+	if err == nil {
+		return reply, nil
 	}
 	// The target refused the job but the checkpoint is still in hand: roll
 	// back to the source so a failed migration doesn't strand the job.

@@ -66,6 +66,10 @@ type Orchestrator struct {
 	// mirrors holds the latest checkpoint copied off each live job's
 	// agent — the state recovery restores from. guarded by mu
 	mirrors map[string]elastic.Checkpoint
+	// restoring marks jobs parked from a mirror after an agent loss:
+	// their resume pushes the checkpoint over the data plane as an
+	// urgent transfer instead of riding inline. guarded by mu
+	restoring map[string]bool
 	// missed counts consecutive failed heartbeats per agent. guarded by mu
 	missed map[string]int
 	// downAgents marks agents the monitor declared dead. guarded by mu
@@ -116,6 +120,7 @@ func New(opts Options) (*Orchestrator, error) {
 		homes:       make(map[string]string),
 		parked:      make(map[string]elastic.Checkpoint),
 		mirrors:     make(map[string]elastic.Checkpoint),
+		restoring:   make(map[string]bool),
 		missed:      make(map[string]int),
 		downAgents:  make(map[string]bool),
 	}
@@ -231,17 +236,27 @@ func (o *Orchestrator) Reconcile() error {
 				o.workers[id] = 0
 				delete(o.homes, id)
 				delete(o.mirrors, id)
+				delete(o.restoring, id)
 			}
 			if !active {
 				delete(o.specs, id)
 				delete(o.parked, id)
 				delete(o.mirrors, id)
+				delete(o.restoring, id)
 			}
 		case cur == 0:
-			// Fresh launch, or resume from the parked checkpoint.
+			// Fresh launch, or resume from the parked checkpoint. A job
+			// parked by agent loss resumes over the data plane: its
+			// mirrored checkpoint is pushed to the new agent in
+			// CRC-verified chunks as an urgent transfer (recovery outranks
+			// best-effort mirroring at the transfer gate).
 			var err error
 			if ck, suspended := o.parked[id]; suspended {
-				_, err = o.ctrl.Resume(id, spec, wantAgent, want, ck)
+				if o.restoring[id] {
+					_, err = o.ctrl.ResumeStaged(id, spec, wantAgent, want, ck, true)
+				} else {
+					_, err = o.ctrl.Resume(id, spec, wantAgent, want, ck)
+				}
 			} else {
 				_, err = o.ctrl.Launch(id, spec, wantAgent, want)
 			}
@@ -250,6 +265,7 @@ func (o *Orchestrator) Reconcile() error {
 				continue
 			}
 			delete(o.parked, id)
+			delete(o.restoring, id)
 			o.workers[id] = want
 			o.homes[id] = wantAgent
 		case curAgent != wantAgent:
@@ -272,9 +288,13 @@ func (o *Orchestrator) Reconcile() error {
 }
 
 // mirrorLocked copies each live job's current checkpoint into the
-// orchestrator's mirror store. Failures are recorded on the obs sink but do
-// not fail the reconciliation: a missed mirror only widens the restart
-// window, the previous mirror still bounds the loss.
+// orchestrator's mirror store, streaming it off the agent in CRC-verified
+// chunks over the data plane. Failures — including a source agent dying
+// mid-stream — are recorded on the obs sink but do not fail the
+// reconciliation: a missed mirror only widens the restart window, the
+// previous mirror still bounds the loss. Jobs the platform marks
+// deadline-at-risk fetch urgently, overtaking queued best-effort
+// transfers at the agent's gate.
 func (o *Orchestrator) mirrorLocked(ids []string) {
 	sink := o.platform.Obs()
 	tr := sink.Tracer()
@@ -286,7 +306,11 @@ func (o *Orchestrator) mirrorLocked(ids []string) {
 			continue
 		}
 		span := tr.Begin(sink.Now(), tracing.SpanCheckpointMirror, id)
-		ck, err := o.ctrl.Snapshot(id)
+		urgent := false
+		if st, err := o.platform.Get(id); err == nil {
+			urgent = st.DeadlineAtRisk
+		}
+		ck, _, err := o.ctrl.FetchCheckpoint(id, urgent)
 		if err != nil {
 			sink.IncError("checkpoint-mirror")
 			tr.End(sink.Now(), span, tracing.A("ok", false))

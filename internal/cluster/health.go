@@ -116,6 +116,7 @@ func (o *Orchestrator) agentDown(name string) {
 		o.workers[id] = 0
 		if ck, ok := o.mirrors[id]; ok {
 			o.parked[id] = ck
+			o.restoring[id] = true
 			sink.IncRestore()
 			sink.EventNow(obs.KindRestore, id, obs.F("step", ck.Step), obs.F("from", name))
 		} else {

@@ -74,6 +74,7 @@ func NewRecovered(opts Options, addrs map[string]string, tasks map[string]agent.
 		homes:       make(map[string]string),
 		parked:      make(map[string]elastic.Checkpoint),
 		mirrors:     make(map[string]elastic.Checkpoint),
+		restoring:   make(map[string]bool),
 		missed:      make(map[string]int),
 		downAgents:  make(map[string]bool),
 	}

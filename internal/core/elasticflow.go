@@ -164,16 +164,20 @@ func (e *ElasticFlow) demand(j *job.Job, now float64) plan.Demand {
 // the deadline. Spent rescales therefore stop eroding the margin twice:
 // their cost is already in the elapsed clock, and only the *remaining*
 // budget is held back. Negative budgets keep the legacy fixed margin.
+// Margins reserve MoveOverheadSec — the migration-priced cost when the
+// checkpoint has been sized — because any reserved rescale may also move
+// the job across a link; a margin that only covers an in-place rescale
+// lays the plan too close to the deadline.
 func (e *ElasticFlow) rescaleMargin(j *job.Job) float64 {
 	s := e.opts.SafetyRescales
 	if s < 0 {
-		return s * j.RescaleOverheadSec
+		return s * j.MoveOverheadSec()
 	}
 	rem := s - float64(j.Rescales)
 	if rem < 1 {
 		rem = 1
 	}
-	return rem * j.RescaleOverheadSec
+	return rem * j.MoveOverheadSec()
 }
 
 // demandBestEffort builds the demand of a job scheduled without a deadline
@@ -516,7 +520,9 @@ func (e *ElasticFlow) probe(f *plan.Filler, p *prioJob) bool {
 		if !p.bestEffort && e.opts.SafetyRescales >= 0 && float64(p.j.Rescales) >= e.opts.SafetyRescales {
 			return false
 		}
-		need = p.j.RescaleOverheadSec
+		// The expansion may relocate the job, so the gain must beat the
+		// migration-priced cost, not just the in-place rescale.
+		need = p.j.MoveOverheadSec()
 	}
 	if !(p.cur.FinishTime(e.opts.SlotSec)-alt.FinishTime(e.opts.SlotSec) > need) {
 		return false

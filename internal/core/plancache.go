@@ -134,6 +134,8 @@ func fingerprintJob(j *job.Job, mode fillMode) uint64 {
 	mix(math.Float64bits(j.TotalIters))
 	mix(math.Float64bits(j.DoneIters))
 	mix(math.Float64bits(j.RescaleOverheadSec))
+	mix(math.Float64bits(j.MigrateOverheadSec))
+	mix(uint64(j.CheckpointBytes))
 	mix(uint64(j.MinGPUs))
 	mix(uint64(j.MaxGPUs))
 	mix(uint64(j.Rescales))

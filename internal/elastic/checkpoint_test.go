@@ -1,0 +1,134 @@
+package elastic
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestEncodeBytesRoundTrip(t *testing.T) {
+	cases := []Checkpoint{
+		{},
+		{Step: 7, Params: []float64{1.5, -2.25, 0, 3e300}},
+		{Step: 1 << 40, Params: make([]float64, 1000)},
+	}
+	for _, ck := range cases {
+		data := ck.EncodeBytes()
+		if int64(len(data)) != ck.SizeBytes() {
+			t.Fatalf("EncodeBytes length %d != SizeBytes %d", len(data), ck.SizeBytes())
+		}
+		got, err := DecodeBytes(data)
+		if err != nil {
+			t.Fatalf("DecodeBytes: %v", err)
+		}
+		if got.Step != ck.Step {
+			t.Errorf("Step = %d, want %d", got.Step, ck.Step)
+		}
+		if len(got.Params) != len(ck.Params) {
+			t.Fatalf("len(Params) = %d, want %d", len(got.Params), len(ck.Params))
+		}
+		if len(ck.Params) > 0 && !reflect.DeepEqual(got.Params, ck.Params) {
+			t.Errorf("Params mismatch after round trip")
+		}
+	}
+}
+
+func TestDecodeBytesRefusesDamage(t *testing.T) {
+	ck := Checkpoint{Step: 3, Params: []float64{1, 2, 3}}
+	data := ck.EncodeBytes()
+
+	// Truncation at every prefix length must error, never misparse.
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodeBytes(data[:n]); err == nil {
+			t.Fatalf("DecodeBytes accepted a %d-byte truncation of a %d-byte checkpoint", n, len(data))
+		}
+	}
+	// Trailing garbage.
+	if _, err := DecodeBytes(append(append([]byte{}, data...), 0)); err == nil {
+		t.Error("DecodeBytes accepted trailing garbage")
+	}
+	// Wrong version byte.
+	bad := append([]byte{}, data...)
+	bad[0] = 99
+	if _, err := DecodeBytes(bad); err == nil {
+		t.Error("DecodeBytes accepted an unknown version byte")
+	}
+}
+
+// TestSaveFileCrashBeforeSync simulates a crash where the temp file's data
+// never reached the disk: with the fsync suppressed and the "kernel" losing
+// unsynced writes, the previous checkpoint under path must stay loadable.
+func TestSaveFileCrashBeforeSync(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck")
+
+	old := Checkpoint{Step: 1, Params: []float64{1}}
+	if err := old.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash-faulty save: the file sync truncates the file instead of
+	// flushing it (the on-disk state a power cut leaves when the page cache
+	// was never written back) and then reports the crash.
+	crash := errors.New("simulated crash before sync")
+	origFile, origDir := syncFile, syncDir
+	syncFile = func(f *os.File) error {
+		if err := f.Truncate(0); err != nil {
+			return err
+		}
+		return crash
+	}
+	syncDir = func(string) error { t.Fatal("dir sync reached despite file-sync crash"); return nil }
+	defer func() { syncFile, syncDir = origFile, origDir }()
+
+	next := Checkpoint{Step: 2, Params: []float64{2}}
+	if err := next.SaveFile(path); !errors.Is(err, crash) {
+		t.Fatalf("SaveFile = %v, want the simulated crash", err)
+	}
+
+	// The rename never happened, so the old checkpoint survives intact.
+	got, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatalf("previous checkpoint unreadable after crash-before-sync: %v", err)
+	}
+	if got.Step != old.Step {
+		t.Errorf("recovered Step = %d, want %d", got.Step, old.Step)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind after failed save: %v", err)
+	}
+}
+
+// TestSaveFileSyncOrdering asserts the durability protocol: file sync
+// before the rename becomes visible, directory sync after.
+func TestSaveFileSyncOrdering(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck")
+
+	var order []string
+	origFile, origDir := syncFile, syncDir
+	syncFile = func(f *os.File) error {
+		order = append(order, "file")
+		return origFile(f)
+	}
+	syncDir = func(d string) error {
+		if d != dir {
+			t.Errorf("dir sync on %q, want parent %q", d, dir)
+		}
+		order = append(order, "dir")
+		return origDir(d)
+	}
+	defer func() { syncFile, syncDir = origFile, origDir }()
+
+	if err := (Checkpoint{Step: 5}).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []string{"file", "dir"}) {
+		t.Errorf("sync order = %v, want [file dir]", order)
+	}
+	if _, err := LoadCheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package faults
+
+import (
+	"testing"
+)
+
+// tamperArgs is an RPC request carrying a payload.
+type tamperArgs struct {
+	data     []byte
+	tampered int
+}
+
+func (a *tamperArgs) TamperPayload() bool {
+	if len(a.data) == 0 {
+		return false
+	}
+	a.data[0] ^= 0xFF
+	a.tampered++
+	return true
+}
+
+func TestCorruptTampersRequestPayload(t *testing.T) {
+	in := New(1, []Rule{{Kind: Corrupt, Op: "PushChunk", At: 2}})
+	fc := &fakeCaller{}
+	c := in.Wrap("server-0", fc)
+	args := &tamperArgs{data: []byte{1, 2, 3}}
+	if err := c.Call("Agent.PushChunk", args, nil); err != nil {
+		t.Fatalf("call 1: %v", err)
+	}
+	if args.tampered != 0 {
+		t.Fatal("payload tampered before the rule fired")
+	}
+	if err := c.Call("Agent.PushChunk", args, nil); err != nil {
+		t.Fatalf("call 2: %v", err)
+	}
+	if args.tampered != 1 {
+		t.Fatalf("tampered = %d, want 1 (corrupt fires on call 2)", args.tampered)
+	}
+	if got := len(fc.calls); got != 2 {
+		t.Fatalf("inner calls = %d, want 2 (corrupted request still forwarded)", got)
+	}
+}
+
+func TestCorruptTampersReplyWhenRequestHasNoPayload(t *testing.T) {
+	in := New(1, []Rule{{Kind: Corrupt, At: 1}})
+	fc := &fakeCaller{}
+	c := in.Wrap("server-0", fc)
+	reply := &tamperArgs{data: []byte{9}}
+	if err := c.Call("Agent.ReadChunk", struct{}{}, reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.tampered != 1 {
+		t.Fatalf("reply tampered = %d, want 1", reply.tampered)
+	}
+	if got := len(fc.calls); got != 1 {
+		t.Fatalf("inner calls = %d, want 1", got)
+	}
+}
+
+func TestCorruptCountsAsFault(t *testing.T) {
+	in := New(1, []Rule{{Kind: Corrupt, Times: 1}})
+	fc := &fakeCaller{}
+	c := in.Wrap("server-0", fc)
+	args := &tamperArgs{data: []byte{5}}
+	if err := c.Call("Agent.PushChunk", args, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call("Agent.PushChunk", args, nil); err != nil {
+		t.Fatal(err)
+	}
+	if args.tampered != 1 {
+		t.Fatalf("tampered = %d, want 1 (times=1 caps firings)", args.tampered)
+	}
+}
+
+func TestParseCorrupt(t *testing.T) {
+	rules, err := Parse("corrupt:op=PushChunk,at=3,times=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(rules))
+	}
+	r := rules[0]
+	if r.Kind != Corrupt || r.Op != "PushChunk" || r.At != 3 || r.Times != 2 {
+		t.Fatalf("parsed rule = %+v", r)
+	}
+	if Corrupt.String() != "corrupt" {
+		t.Fatalf("Corrupt.String() = %q", Corrupt.String())
+	}
+}

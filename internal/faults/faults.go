@@ -51,6 +51,12 @@ const (
 	// Crash marks the agent permanently dead: this call and every later
 	// call (and redial) to that agent fails with CrashedError.
 	Crash
+	// Corrupt flips payload bytes in flight: request payloads (args
+	// implementing PayloadTamperer) are tampered before the call reaches
+	// the agent, reply payloads after it returns. The call itself
+	// succeeds — integrity checking is the receiver's job, which is
+	// exactly what the transfer plane's per-chunk CRCs exist to catch.
+	Corrupt
 )
 
 // String returns the metric/event label for the kind.
@@ -64,9 +70,19 @@ func (k Kind) String() string {
 		return "drop"
 	case Crash:
 		return "crash"
+	case Corrupt:
+		return "corrupt"
 	default:
 		return "none"
 	}
+}
+
+// PayloadTamperer is implemented by RPC args/replies that carry a byte
+// payload a Corrupt fault can damage. TamperPayload flips payload bytes
+// in place (on a private copy if the buffer may be shared) and reports
+// whether there was anything to damage.
+type PayloadTamperer interface {
+	TamperPayload() bool
 }
 
 // ErrInjected is the error returned by an Error-kind fault.
@@ -229,6 +245,20 @@ func (w *wrapped) Call(serviceMethod string, args any, reply any) error {
 		return ErrDropped
 	case Delay:
 		w.in.sleep(delay)
+	case Corrupt:
+		// Damage the request payload before it reaches the agent; if the
+		// request carries none, forward and damage the reply instead —
+		// either way the receiver's CRC check is what must catch it.
+		if t, ok := args.(PayloadTamperer); ok && t.TamperPayload() {
+			break
+		}
+		if err := w.inner.Call(serviceMethod, args, reply); err != nil {
+			return err
+		}
+		if t, ok := reply.(PayloadTamperer); ok {
+			t.TamperPayload()
+		}
+		return nil
 	}
 	return w.inner.Call(serviceMethod, args, reply)
 }
@@ -289,8 +319,8 @@ func (in *Injector) decide(agent, op string) (act Kind, delay time.Duration, cra
 
 // Parse decodes the compact flag syntax into a schedule. Rules are
 // ';'-separated; each is "kind:key=val,key=val…" with kind one of error,
-// delay, drop, crash and keys agent, op, at, after, p, times, ms (delay
-// milliseconds). Examples:
+// delay, drop, crash, corrupt and keys agent, op, at, after, p, times, ms
+// (delay milliseconds). Examples:
 //
 //	crash:agent=server-1,at=40
 //	delay:op=Step,p=0.5,ms=100
@@ -313,6 +343,8 @@ func Parse(spec string) ([]Rule, error) {
 			r.Kind = Drop
 		case "crash":
 			r.Kind = Crash
+		case "corrupt":
+			r.Kind = Corrupt
 		default:
 			return nil, fmt.Errorf("faults: unknown kind %q in %q", kindStr, part)
 		}

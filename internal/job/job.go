@@ -11,6 +11,8 @@ import (
 
 	"github.com/elasticflow/elasticflow/internal/model"
 	"github.com/elasticflow/elasticflow/internal/throughput"
+	"github.com/elasticflow/elasticflow/internal/topology"
+	"github.com/elasticflow/elasticflow/internal/transfer"
 )
 
 // Class distinguishes deadline semantics (§4.4).
@@ -114,11 +116,21 @@ type Job struct {
 	// RequestedGPUs is the worker count from the original server-centric
 	// trace; only non-elastic baselines use it.
 	RequestedGPUs int
-	// RescaleOverheadSec is the wall time one scaling/migration event
+	// RescaleOverheadSec is the wall time one in-place scaling event
 	// costs this job (checkpoint + restore, §6.6). The scheduler uses it
 	// as a planning safety margin; the simulator charges it on every
 	// allocation change.
 	RescaleOverheadSec float64
+	// CheckpointBytes is the size of the job's serialized model state —
+	// what actually crosses a link when the job migrates. Zero means
+	// unknown, and migration prices like an in-place rescale.
+	CheckpointBytes int64
+	// MigrateOverheadSec is the conservative worst-case cost of one
+	// placement-changing move: RescaleOverheadSec plus CheckpointBytes
+	// over the slowest (cross-rack) link, fixed at submission so
+	// planning margins are deterministic. Zero means unpriced, and
+	// planning falls back to RescaleOverheadSec.
+	MigrateOverheadSec float64
 
 	// State is the lifecycle position.
 	State State
@@ -171,6 +183,28 @@ func (j *Job) RemainingIters() float64 {
 // floating-point progress accumulation.
 func (j *Job) Done() bool {
 	return j.DoneIters >= j.TotalIters-1e-9-1e-12*j.TotalIters
+}
+
+// MoveOverheadSec is the per-event cost planning margins reserve: the
+// conservatively priced migration cost when the job's checkpoint has been
+// sized, else the plain rescale overhead. Using the migration price keeps
+// the deadline guarantee honest — the scheduler may move the job across
+// any link, so the margin must cover the slowest.
+func (j *Job) MoveOverheadSec() float64 {
+	if j.MigrateOverheadSec > 0 {
+		return j.MigrateOverheadSec
+	}
+	return j.RescaleOverheadSec
+}
+
+// MoveCharge is the ONE formula both the simulator's freeze and the live
+// platform's FrozenUntil stamp apply when the job's block changes from→to:
+// the in-place rescale overhead plus the checkpoint's wire time over the
+// link it actually crosses. An identical block costs no wire time, and an
+// unsized checkpoint (CheckpointBytes 0) prices exactly like before the
+// data plane existed.
+func (j *Job) MoveCharge(m transfer.CostModel, cfg topology.Config, from, to topology.Block) float64 {
+	return j.RescaleOverheadSec + m.TransferTime(j.CheckpointBytes, topology.TransferLevel(cfg, from, to))
 }
 
 // HasDeadline reports whether the job carries a finite deadline.

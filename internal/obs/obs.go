@@ -65,6 +65,13 @@ type Obs struct {
 	storeRecoverySec *Histogram  // ef_store_recovery_seconds
 	storeTornTails   *Counter    // ef_store_torn_tails_total
 
+	transferBytes   *CounterVec // ef_transfer_bytes_total{dir}
+	transferChunks  *CounterVec // ef_transfer_chunks_total{dir}
+	transferRetries *Counter    // ef_transfer_chunk_retries_total
+	transferResumes *Counter    // ef_transfer_resumes_total
+	transferCorrupt *Counter    // ef_transfer_corruptions_total
+	transferStall   *Histogram  // ef_transfer_stall_seconds
+
 	sloBudget *Histogram // ef_slo_deadline_budget_ratio
 	sloFast   *Gauge     // ef_slo_burn_rate_fast
 	sloSlow   *Gauge     // ef_slo_burn_rate_slow
@@ -126,6 +133,13 @@ func New(opts Options) *Obs {
 		storeReplayed:    m.Counter("ef_store_replayed_records_total", "Journal records replayed through the scheduler during recovery."),
 		storeRecoverySec: m.Histogram("ef_store_recovery_seconds", "Wall time of control-plane state recovery (snapshot load + journal replay).", RecoveryBuckets),
 		storeTornTails:   m.Counter("ef_store_torn_tails_total", "Torn journal tails (partial final records) detected and truncated during recovery."),
+
+		transferBytes:   m.CounterVec("ef_transfer_bytes_total", "Checkpoint bytes moved over the chunked data plane, by direction.", "dir"),
+		transferChunks:  m.CounterVec("ef_transfer_chunks_total", "CRC-verified chunks moved over the data plane, by direction.", "dir"),
+		transferRetries: m.Counter("ef_transfer_chunk_retries_total", "Chunk attempts beyond the first (transport drops and CRC refusals)."),
+		transferResumes: m.Counter("ef_transfer_resumes_total", "Transfers resumed from a verified offset after a dropped stream."),
+		transferCorrupt: m.Counter("ef_transfer_corruptions_total", "Corrupted chunks detected by CRC and re-requested — never applied."),
+		transferStall:   m.Histogram("ef_transfer_stall_seconds", "Seconds a transfer waited at the per-agent admission gate (initial wait plus yields).", RecoveryBuckets),
 
 		sloBudget: m.Histogram("ef_slo_deadline_budget_ratio", "Fraction of a job's deadline budget consumed at completion ((completion-submit)/(deadline-submit)); >1 is a miss.", BudgetBuckets),
 		sloFast:   m.Gauge("ef_slo_burn_rate_fast", "Deadline-SLO burn rate over the fast (5 min domain-time) window: miss fraction / error budget."),
@@ -385,6 +399,57 @@ func (o *Obs) IncStoreTornTail() {
 		return
 	}
 	o.storeTornTails.Inc()
+}
+
+// AddTransferBytes counts checkpoint bytes moved over the data plane in
+// the given direction ("fetch" or "push").
+func (o *Obs) AddTransferBytes(dir string, n int64) {
+	if o == nil {
+		return
+	}
+	o.transferBytes.With(dir).Add(float64(n))
+}
+
+// AddTransferChunks counts CRC-verified chunks moved in the given
+// direction.
+func (o *Obs) AddTransferChunks(dir string, n int) {
+	if o == nil {
+		return
+	}
+	o.transferChunks.With(dir).Add(float64(n))
+}
+
+// AddTransferRetries counts chunk attempts beyond the first.
+func (o *Obs) AddTransferRetries(n int) {
+	if o == nil {
+		return
+	}
+	o.transferRetries.Add(float64(n))
+}
+
+// AddTransferResumes counts streams resumed from a verified offset.
+func (o *Obs) AddTransferResumes(n int) {
+	if o == nil {
+		return
+	}
+	o.transferResumes.Add(float64(n))
+}
+
+// AddTransferCorruptions counts corrupted chunks caught by CRC.
+func (o *Obs) AddTransferCorruptions(n int) {
+	if o == nil {
+		return
+	}
+	o.transferCorrupt.Add(float64(n))
+}
+
+// ObserveTransferStall records the seconds one transfer spent queued at
+// the per-agent admission gate.
+func (o *Obs) ObserveTransferStall(sec float64) {
+	if o == nil {
+		return
+	}
+	o.transferStall.Observe(sec)
 }
 
 // SetUsedGPUs records the current allocated-GPU level.

@@ -49,6 +49,10 @@ const (
 	// SpanCheckpointMirror records one checkpoint mirrored from an agent to
 	// the orchestrator.
 	SpanCheckpointMirror = "checkpoint.mirror"
+	// SpanCheckpointTransfer records one chunked checkpoint movement over
+	// the data plane (fetch or push), with its byte/chunk/retry/resume
+	// counts as attributes.
+	SpanCheckpointTransfer = "checkpoint.transfer"
 	// SpanNodeDownRecover records a job evicted by a server failure and the
 	// recovery replan that follows.
 	SpanNodeDownRecover = "node-down.recover"

@@ -334,6 +334,8 @@ func (p *Platform) applySubmitLocked(req SubmitRequest, now float64) (JobStatus,
 		MinGPUs:            prof.MinGPUs,
 		MaxGPUs:            prof.MaxGPUs,
 		RescaleOverheadSec: p.est.RescaleOverhead(spec),
+		CheckpointBytes:    spec.GradientBytes(),
+		MigrateOverheadSec: p.est.CostModel().MigrateCost(spec.GradientBytes(), topology.LevelCluster),
 	}
 	switch {
 	case req.BestEffort:
@@ -607,6 +609,11 @@ func (p *Platform) rescheduleLocked(now float64) {
 	stop := p.obs.Timer()
 	dec := p.ef.Schedule(now, p.active, p.capLocked())
 	p.obs.ObserveDecision("allocate", stop())
+	// Remember where every job sat before this pass: the freeze charge for
+	// a moved job depends on the link its checkpoint actually crosses.
+	prev := p.cluster.Placements()
+	costs := p.est.CostModel()
+	cfg := p.cluster.Config()
 	// Shrink/release first, then grow (buddy-friendly ordering).
 	for _, j := range p.active {
 		if ng := dec.Alloc[j.ID]; ng != j.GPUs {
@@ -627,7 +634,7 @@ func (p *Platform) rescheduleLocked(now float64) {
 			continue
 		}
 		if ng > 0 {
-			_, migs, err := p.cluster.AllocateWithMigration(j.ID, ng)
+			blk, migs, err := p.cluster.AllocateWithMigration(j.ID, ng)
 			if err != nil {
 				panic(err)
 			}
@@ -636,10 +643,26 @@ func (p *Platform) rescheduleLocked(now float64) {
 				p.obs.IncMigration()
 				p.tr.EmitLSN(now, tracing.SpanMigrate, m.JobID, p.curLSN,
 					tracing.A("from", m.From), tracing.A("to", m.To))
+				// The bystander's trainer stops, its checkpoint crosses the
+				// m.From→m.To link, and it restores — the same shared price
+				// the simulator charges.
+				if b, ok := p.all[m.JobID]; ok {
+					b.FrozenUntil = now + b.MoveCharge(costs, cfg, m.From, m.To)
+					b.Rescales++
+				}
 			}
 			started := j.GPUs > 0 || j.DoneIters > 0
 			if started {
-				j.FrozenUntil = now + j.RescaleOverheadSec
+				// In-place rescales (same block) price at the plain rescale
+				// overhead; a placement change adds wire time over the
+				// crossed link. A job resuming from preemption has no
+				// previous block — its bytes come from wherever it was
+				// parked, priced conservatively at the cross-rack tier.
+				charge := j.MoveOverheadSec()
+				if from, ok := prev[j.ID]; ok {
+					charge = j.MoveCharge(costs, cfg, from, blk)
+				}
+				j.FrozenUntil = now + charge
 				j.Rescales++
 				p.eventLocked(now, obs.KindRescale, j.ID, obs.F("gpus", ng))
 				p.obs.IncRescale()

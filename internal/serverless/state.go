@@ -262,6 +262,8 @@ type jobState struct {
 	MaxGPUs            int          `json:"max_gpus"`
 	RequestedGPUs      int          `json:"requested_gpus,omitempty"`
 	RescaleOverheadSec float64      `json:"rescale_overhead_sec"`
+	CheckpointBytes    int64        `json:"checkpoint_bytes,omitempty"`
+	MigrateOverheadSec float64      `json:"migrate_overhead_sec,omitempty"`
 	State              int          `json:"state"`
 	DoneIters          float64      `json:"done_iters"`
 	GPUs               int          `json:"gpus"`
@@ -317,6 +319,8 @@ func (p *Platform) stateLocked() platformState {
 			MaxGPUs:            j.MaxGPUs,
 			RequestedGPUs:      j.RequestedGPUs,
 			RescaleOverheadSec: j.RescaleOverheadSec,
+			CheckpointBytes:    j.CheckpointBytes,
+			MigrateOverheadSec: j.MigrateOverheadSec,
 			State:              int(j.State),
 			DoneIters:          j.DoneIters,
 			GPUs:               j.GPUs,
@@ -389,6 +393,8 @@ func (p *Platform) restoreStateLocked(payload []byte) error {
 			MaxGPUs:            js.MaxGPUs,
 			RequestedGPUs:      js.RequestedGPUs,
 			RescaleOverheadSec: js.RescaleOverheadSec,
+			CheckpointBytes:    js.CheckpointBytes,
+			MigrateOverheadSec: js.MigrateOverheadSec,
 			State:              job.State(js.State),
 			DoneIters:          js.DoneIters,
 			GPUs:               js.GPUs,

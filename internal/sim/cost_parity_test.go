@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/job"
+	"github.com/elasticflow/elasticflow/internal/model"
+	"github.com/elasticflow/elasticflow/internal/throughput"
+	"github.com/elasticflow/elasticflow/internal/topology"
+	"github.com/elasticflow/elasticflow/internal/transfer"
+)
+
+// TestSimAndLivePriceOneModel is the acceptance gate of the shared cost
+// model: the simulator's default pricing and the live platform's
+// estimator-derived pricing are the same transfer.CostModel value, so the
+// same move costs the same seconds in both. Both sides then apply the one
+// formula, job.MoveCharge, to concrete relocations.
+func TestSimAndLivePriceOneModel(t *testing.T) {
+	live := throughput.NewEstimator(model.DefaultA100()).CostModel()
+	simDefault := transfer.DefaultCostModel()
+	if live != simDefault {
+		t.Fatalf("live estimator cost model %+v != sim default %+v", live, simDefault)
+	}
+}
+
+// TestMoveChargePricesActualLink drives the engine's freeze pricing over
+// concrete relocations: the charge is the in-place rescale overhead plus
+// checkpoint bytes over the bandwidth of the link actually crossed, the
+// conservative submission-time price when the job resumes from preemption
+// with no previous block, and the plain overhead under the placement-free
+// ablation (no links modeled).
+func TestMoveChargePricesActualLink(t *testing.T) {
+	cfg := Config{Topology: topology.Config{Servers: 2, GPUsPerServer: 8}}
+	cluster, err := topology.New(cfg.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &engine{cfg: cfg, cluster: cluster, costs: transfer.DefaultCostModel()}
+	j := &job.Job{ID: "a", RescaleOverheadSec: 10, CheckpointBytes: 20e9, MigrateOverheadSec: 13}
+	if err := cluster.Reserve("a", topology.Block{Start: 8, Size: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cross-server move: 20 GB over the 20 GB/s rack tier (NIC) = 1 s extra.
+	prev := map[string]topology.Block{"a": {Start: 0, Size: 2}}
+	if got, want := e.moveCharge(j, prev), 11.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("cross-server charge = %v, want %v", got, want)
+	}
+	// In-place rescale (same block): no wire time.
+	prev["a"] = topology.Block{Start: 8, Size: 2}
+	if got := e.moveCharge(j, prev); math.Abs(got-10) > 1e-9 {
+		t.Errorf("in-place charge = %v, want 10", got)
+	}
+	// No previous block: the conservative submission-time migration price.
+	if got := e.moveCharge(j, nil); math.Abs(got-13) > 1e-9 {
+		t.Errorf("park-resume charge = %v, want MigrateOverheadSec 13", got)
+	}
+	// Placement-free ablation: no links, plain rescale overhead.
+	e.cfg.PlacementFree = true
+	prev["a"] = topology.Block{Start: 0, Size: 2}
+	if got := e.moveCharge(j, prev); math.Abs(got-10) > 1e-9 {
+		t.Errorf("placement-free charge = %v, want 10", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"github.com/elasticflow/elasticflow/internal/obs/tracing"
 	"github.com/elasticflow/elasticflow/internal/sched"
 	"github.com/elasticflow/elasticflow/internal/topology"
+	"github.com/elasticflow/elasticflow/internal/transfer"
 )
 
 // Config configures one simulation run.
@@ -30,6 +31,12 @@ type Config struct {
 	PlacementFree bool
 	// NoOverheads disables rescale overhead charging (ablation).
 	NoOverheads bool
+	// Costs prices checkpoint movement for freeze charges: a migration's
+	// wire time is the job's CheckpointBytes over the bandwidth of the
+	// link crossed. Nil uses transfer.DefaultCostModel(), which matches
+	// model.DefaultA100 — the same table the live platform's estimator
+	// prices with, so the same move costs the same seconds in both.
+	Costs *transfer.CostModel
 	// SampleSec adds periodic timeline samples between events (0 = only
 	// at events).
 	SampleSec float64
@@ -184,6 +191,7 @@ type engine struct {
 	g       int
 	cluster *topology.Cluster
 	sched   sched.Scheduler
+	costs   transfer.CostModel
 	// tr is Config.Obs's tracer (nil when tracing is off). Spans carry
 	// LSN 0 here: the simulator has no write-ahead journal to correlate
 	// against.
@@ -247,11 +255,16 @@ func Run(cfg Config, jobs []*job.Job, traceName string) (Result, error) {
 	pending := append([]*job.Job{}, jobs...)
 	sort.Slice(pending, func(i, k int) bool { return pending[i].SubmitTime < pending[k].SubmitTime })
 
+	costs := transfer.DefaultCostModel()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
 	e := &engine{
 		cfg:     cfg,
 		g:       cluster.TotalGPUs(),
 		cluster: cluster,
 		sched:   cfg.Scheduler,
+		costs:   costs,
 		tr:      cfg.Obs.Tracer(),
 		pending: pending,
 		stats:   make(map[string]*JobResult, len(pending)),
@@ -569,7 +582,11 @@ func (e *engine) reschedule() {
 		}
 	}
 	// Release every changed job's block first so growth has room, then
-	// place in descending size order (buddy-friendly).
+	// place in descending size order (buddy-friendly). Remember where each
+	// job sat: the freeze charge for a moved job depends on the link its
+	// checkpoint crosses (job.MoveCharge — the same formula the live
+	// platform stamps FrozenUntil with).
+	prev := e.cluster.Placements()
 	if !e.cfg.PlacementFree {
 		for _, c := range changes {
 			if _, ok := e.cluster.Placement(c.j.ID); ok {
@@ -593,14 +610,15 @@ func (e *engine) reschedule() {
 				panic(fmt.Sprintf("sim: placement failed for %s (%d GPUs): %v", c.j.ID, c.newG, err))
 			}
 			e.res.Migrations += len(migs)
-			// Migrated bystanders checkpoint/restore too.
+			// Migrated bystanders checkpoint/restore too, paying the wire
+			// time of the link their relocation crosses.
 			for _, m := range migs {
 				e.logEvent(obs.KindMigrate, m.JobID, obs.F("from", m.From), obs.F("to", m.To))
 				e.cfg.Obs.IncMigration()
 				e.tr.Emit(e.now, tracing.SpanMigrate, m.JobID,
 					tracing.A("from", m.From), tracing.A("to", m.To))
 				if other := e.findActive(m.JobID); other != nil && !e.cfg.NoOverheads {
-					e.freeze(other)
+					e.freeze(other, other.MoveCharge(e.costs, e.cfg.Topology, m.From, m.To))
 				}
 			}
 		}
@@ -623,14 +641,32 @@ func (e *engine) reschedule() {
 			c.j.State = job.Admitted
 		}
 		if c.newG > 0 && started && !e.cfg.NoOverheads {
-			e.freeze(c.j)
+			e.freeze(c.j, e.moveCharge(c.j, prev))
 		}
 	}
 	e.wake = dec.Wake
 }
 
-func (e *engine) freeze(j *job.Job) {
-	until := e.now + j.RescaleOverheadSec
+// moveCharge prices the freeze a placement change costs j: the in-place
+// rescale overhead plus the checkpoint's wire time over the crossed link.
+// A job resuming from preemption has no previous block — its bytes come
+// from wherever it was parked, priced conservatively at the cross-rack
+// tier (MoveOverheadSec). The placement-free ablation models no links and
+// keeps the plain rescale overhead.
+func (e *engine) moveCharge(j *job.Job, prev map[string]topology.Block) float64 {
+	if e.cfg.PlacementFree {
+		return j.RescaleOverheadSec
+	}
+	from, had := prev[j.ID]
+	to, has := e.cluster.Placement(j.ID)
+	if !had || !has {
+		return j.MoveOverheadSec()
+	}
+	return j.MoveCharge(e.costs, e.cfg.Topology, from, to)
+}
+
+func (e *engine) freeze(j *job.Job, charge float64) {
+	until := e.now + charge
 	if until > j.FrozenUntil {
 		j.FrozenUntil = until
 	}

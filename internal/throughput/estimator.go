@@ -12,6 +12,8 @@ import (
 	"fmt"
 
 	"github.com/elasticflow/elasticflow/internal/model"
+	"github.com/elasticflow/elasticflow/internal/topology"
+	"github.com/elasticflow/elasticflow/internal/transfer"
 )
 
 // Placement describes where a job's workers sit: how many GPUs it uses on
@@ -174,11 +176,26 @@ func (e Estimator) Throughput(spec model.Spec, globalBatch int, p Placement) (fl
 	return 1 / it, nil
 }
 
+// CostModel returns the shared checkpoint-movement cost model priced by
+// this estimator's hardware constants — the ONE pricing the simulator's
+// freeze charges and the live platform's FrozenUntil stamps both consult.
+func (e Estimator) CostModel() transfer.CostModel {
+	return transfer.CostModel{
+		FixedSec:       e.HW.RescaleFixedSec,
+		CheckpointGBps: e.HW.CheckpointGBps,
+		BW: topology.Bandwidths{
+			NVLinkGBps:    e.HW.NVLinkGBps,
+			PCIeGBps:      e.HW.PCIeGBps,
+			NICGBps:       e.HW.NICGBps,
+			CrossRackGBps: e.HW.CrossRackGBps,
+		},
+	}
+}
+
 // RescaleOverhead returns the wall time charged for changing a job's worker
-// set (§6.6, Fig. 12(b)): a fixed stop/restart cost plus checkpoint and
-// restore of the model state, which dominates and is largely independent of
-// the transition's worker counts.
+// set in place (§6.6, Fig. 12(b)): a fixed stop/restart cost plus checkpoint
+// and restore of the model state, which dominates and is largely independent
+// of the transition's worker counts. Delegates to the shared CostModel.
 func (e Estimator) RescaleOverhead(spec model.Spec) float64 {
-	stateGB := float64(spec.GradientBytes()) / 1e9
-	return e.HW.RescaleFixedSec + 2*stateGB/e.HW.CheckpointGBps
+	return e.CostModel().RescaleCost(spec.GradientBytes())
 }

@@ -18,6 +18,7 @@ import (
 	"github.com/elasticflow/elasticflow/internal/job"
 	"github.com/elasticflow/elasticflow/internal/model"
 	"github.com/elasticflow/elasticflow/internal/throughput"
+	"github.com/elasticflow/elasticflow/internal/topology"
 )
 
 // Item is one job record in a trace, mirroring the fields of the paper's
@@ -278,6 +279,8 @@ func (t Trace) Jobs(prof *throughput.Profiler, est throughput.Estimator) ([]*job
 			MaxGPUs:            p.MaxGPUs,
 			RequestedGPUs:      gpus,
 			RescaleOverheadSec: est.RescaleOverhead(spec),
+			CheckpointBytes:    spec.GradientBytes(),
+			MigrateOverheadSec: est.CostModel().MigrateCost(spec.GradientBytes(), topology.LevelCluster),
 		}
 		if it.BestEffort {
 			j.Class = job.BestEffort

@@ -1,0 +1,154 @@
+package transfer
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"github.com/elasticflow/elasticflow/internal/elastic"
+)
+
+// hostilePeer applies a fuzz-scripted fault to each Read/Push call:
+// transport drops, payload corruption under a stale CRC, truncation with a
+// recomputed CRC, stale (reordered) chunks, and empty frames. The script
+// is consumed one byte per call; when it runs out the peer behaves.
+type hostilePeer struct {
+	inner  Peer
+	script []byte
+	calls  int
+}
+
+func (h *hostilePeer) fault() byte {
+	if h.calls >= len(h.script) {
+		return 0xFF // no fault
+	}
+	b := h.script[h.calls]
+	h.calls++
+	return b % 6
+}
+
+func (h *hostilePeer) Read(id string, offset int64, n int) (Chunk, error) {
+	c, err := h.inner.Read(id, offset, n)
+	if err != nil {
+		return c, err
+	}
+	switch h.fault() {
+	case 0: // stream drop
+		return Chunk{}, errConn
+	case 1: // corrupt payload, CRC now stale — must be detected
+		c.Data = append([]byte{}, c.Data...)
+		c.Data[0] ^= 0xA5
+	case 2: // truncate with recomputed CRC — a valid, shorter chunk
+		if len(c.Data) > 1 {
+			c.Data = c.Data[:len(c.Data)/2]
+			c.CRC = Checksum(c.Data)
+			c.Last = false
+		}
+	case 3: // stale chunk from an earlier offset (reorder)
+		if offset > 0 {
+			prev, perr := h.inner.Read(id, 0, n)
+			if perr == nil {
+				return prev, nil
+			}
+		}
+	case 4: // empty frame with a valid CRC
+		c.Data = nil
+		c.CRC = Checksum(nil)
+	}
+	return c, nil
+}
+
+func (h *hostilePeer) Close(id string) error { return h.inner.Close(id) }
+
+func (h *hostilePeer) BeginPush(id string, size int64, crc uint32) (int64, error) {
+	return h.inner.BeginPush(id, size, crc)
+}
+
+func (h *hostilePeer) Push(id string, c Chunk) error {
+	switch h.fault() {
+	case 0:
+		return errConn
+	case 1: // tamper in flight: receiver-side CRC must refuse
+		c.Data = append([]byte{}, c.Data...)
+		if len(c.Data) > 0 {
+			c.Data[0] ^= 0xA5
+		}
+	case 2: // truncate in flight under the original CRC
+		if len(c.Data) > 1 {
+			c.Data = c.Data[:len(c.Data)/2]
+		}
+	case 3: // replay at offset 0 (reorder) — idempotent ack or gap refusal
+		c.Offset = 0
+	}
+	return h.inner.Push(id, c)
+}
+
+func (h *hostilePeer) Commit(id string) error { return h.inner.Commit(id) }
+
+// FuzzCheckpointTransfer streams a checkpoint through an arbitrarily
+// hostile peer in both directions. The invariant is resume-or-refuse: a
+// transfer either completes with the byte-identical checkpoint or returns
+// an error — a silently wrong checkpoint is never produced.
+func FuzzCheckpointTransfer(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{})
+	f.Add(bytes.Repeat([]byte{0xAB}, 600), []byte{0, 0, 1, 1, 2, 3, 4, 5})
+	f.Add(bytes.Repeat([]byte{7}, 300), []byte{1, 0, 3, 2, 0, 0, 0, 0, 0, 4})
+	f.Fuzz(func(t *testing.T, payload, script []byte) {
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		if len(script) > 256 {
+			script = script[:256]
+		}
+		params := make([]float64, len(payload)/8)
+		for i := range params {
+			bits := binary.LittleEndian.Uint64(payload[8*i:])
+			params[i] = float64(bits) // finite by construction
+		}
+		ck := elastic.Checkpoint{Step: len(payload), Params: params}
+		data := ck.EncodeBytes()
+
+		// Fetch through the hostile peer.
+		mem := newMemPeer()
+		off := mem.offer("fz", data)
+		h := &hostilePeer{inner: mem, script: script}
+		m := &Mover{ChunkSize: 64, MaxChunkRetries: 3}
+		got, err := m.Fetch(h, off)
+		if err == nil {
+			if !bytes.Equal(got, data) {
+				t.Fatalf("fetch returned success with wrong bytes (%d vs %d)", len(got), len(data))
+			}
+			dec, derr := elastic.DecodeBytes(got)
+			if derr != nil {
+				t.Fatalf("verified fetch not decodable: %v", derr)
+			}
+			if dec.Step != ck.Step || len(dec.Params) != len(ck.Params) {
+				t.Fatal("decoded checkpoint differs from the source")
+			}
+		}
+
+		// Push through the hostile peer.
+		mem2 := newMemPeer()
+		h2 := &hostilePeer{inner: mem2, script: script}
+		m2 := &Mover{ChunkSize: 64, MaxChunkRetries: 3}
+		if err := m2.Push(h2, "fz", data); err == nil {
+			staged, ok := mem2.staged["fz"]
+			if !ok {
+				t.Fatal("push returned success without a staged object")
+			}
+			if !bytes.Equal(staged, data) {
+				t.Fatal("push returned success with wrong staged bytes")
+			}
+		} else if _, ok := mem2.staged["fz"]; ok {
+			t.Fatal("push failed but an object was staged anyway")
+		}
+
+		// Whatever the peer did, a damaged encoding never decodes silently:
+		// DecodeBytes refuses any prefix truncation.
+		if len(data) > 17 {
+			if _, derr := elastic.DecodeBytes(data[:len(data)-1]); derr == nil {
+				t.Fatal("truncated encoding decoded without error")
+			}
+		}
+	})
+}

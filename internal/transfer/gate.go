@@ -1,0 +1,143 @@
+package transfer
+
+import (
+	"sync"
+	"time"
+)
+
+// Gate bounds the number of concurrent transfers touching one server.
+// Excess transfers wait in FIFO order, except that urgent transfers (for
+// deadline-at-risk jobs) enqueue ahead of every best-effort waiter, and a
+// running best-effort transfer is asked to yield its slot at the next
+// chunk boundary while an urgent one waits — graceful degradation under
+// transfer pressure instead of a bandwidth free-for-all.
+//
+// A nil *Gate admits everything immediately; all methods are nil-safe.
+type Gate struct {
+	limit int
+	now   func() time.Time
+
+	mu sync.Mutex
+	// active is the number of slots currently held. guarded by mu.
+	active int
+	// queue holds blocked acquirers in service order: urgent waiters
+	// first (FIFO among themselves), then best-effort FIFO. guarded by mu.
+	queue []*waiter
+	// urgentWaiting counts queued urgent waiters, the signal ShouldYield
+	// polls. guarded by mu.
+	urgentWaiting int
+}
+
+type waiter struct {
+	ch     chan struct{}
+	urgent bool
+}
+
+// DefaultTransferCap is the per-server concurrent-transfer bound.
+const DefaultTransferCap = 2
+
+// NewGate creates a gate admitting up to limit concurrent transfers.
+// now supplies the clock used to measure queue wait (nil → time.Now);
+// tests inject a fake.
+func NewGate(limit int, now func() time.Time) *Gate {
+	if limit <= 0 {
+		limit = DefaultTransferCap
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Gate{limit: limit, now: now}
+}
+
+// Slot is one held admission. Release it when the transfer finishes.
+type Slot struct {
+	g      *Gate
+	urgent bool
+	waited float64
+}
+
+// Acquire blocks until a slot is free. Urgent acquirers overtake every
+// queued best-effort waiter. Returns nil on a nil gate (no limit).
+func (g *Gate) Acquire(urgent bool) *Slot {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	if g.active < g.limit && len(g.queue) == 0 {
+		g.active++
+		g.mu.Unlock()
+		return &Slot{g: g, urgent: urgent}
+	}
+	w := &waiter{ch: make(chan struct{}), urgent: urgent}
+	if urgent {
+		// Insert after the last queued urgent waiter, before the first
+		// best-effort one.
+		i := 0
+		for i < len(g.queue) && g.queue[i].urgent {
+			i++
+		}
+		g.queue = append(g.queue, nil)
+		copy(g.queue[i+1:], g.queue[i:])
+		g.queue[i] = w
+		g.urgentWaiting++
+	} else {
+		g.queue = append(g.queue, w)
+	}
+	g.mu.Unlock()
+	start := g.now()
+	<-w.ch // the releaser hands the slot over before closing
+	return &Slot{g: g, urgent: urgent, waited: g.now().Sub(start).Seconds()}
+}
+
+// Release frees the slot, handing it to the head of the queue if any.
+func (s *Slot) Release() {
+	if s == nil {
+		return
+	}
+	g := s.g
+	g.mu.Lock()
+	if len(g.queue) > 0 {
+		w := g.queue[0]
+		g.queue = g.queue[1:]
+		if w.urgent {
+			g.urgentWaiting--
+		}
+		close(w.ch) // slot count unchanged: handed to w
+	} else {
+		g.active--
+	}
+	g.mu.Unlock()
+}
+
+// ShouldYield reports whether this transfer should give up its slot at the
+// next chunk boundary: it is best-effort and an urgent transfer is waiting.
+func (s *Slot) ShouldYield() bool {
+	if s == nil || s.urgent {
+		return false
+	}
+	s.g.mu.Lock()
+	defer s.g.mu.Unlock()
+	return s.g.urgentWaiting > 0
+}
+
+// Yield releases the slot and re-acquires it at the back of the queue,
+// returning the seconds spent waiting (added to Waited). The caller's
+// transfer resumes from its current offset — yielding never loses bytes.
+func (s *Slot) Yield() float64 {
+	if s == nil {
+		return 0
+	}
+	s.Release()
+	n := s.g.Acquire(s.urgent)
+	s.waited += n.waited
+	return n.waited
+}
+
+// Waited returns the total seconds this transfer spent queued, the number
+// the ef_transfer_stall_seconds series observes.
+func (s *Slot) Waited() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.waited
+}

@@ -1,0 +1,132 @@
+package transfer
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateCapsAndFIFO(t *testing.T) {
+	g := NewGate(1, nil)
+	s1 := g.Acquire(false)
+
+	// Queue two waiters in a known order; each records its service turn
+	// before releasing, so the chain s1→2→3 is fully serialized.
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	for _, id := range []int{2, 3} {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := g.Acquire(false)
+			order <- id
+			s.Release()
+		}()
+		waitQueued(t, g, id-1)
+	}
+
+	s1.Release()
+	wg.Wait()
+	if a, b := <-order, <-order; a != 2 || b != 3 {
+		t.Errorf("service order = %d,%d, want FIFO 2,3", a, b)
+	}
+}
+
+func TestGateUrgentOvertakesBestEffort(t *testing.T) {
+	g := NewGate(1, nil)
+	s := g.Acquire(false)
+
+	order := make(chan string, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := g.Acquire(false)
+		order <- "best-effort"
+		w.Release()
+	}()
+	waitQueued(t, g, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := g.Acquire(true)
+		order <- "urgent"
+		w.Release()
+	}()
+	waitQueued(t, g, 2)
+
+	if !s.ShouldYield() {
+		t.Error("running best-effort slot not asked to yield for a queued urgent transfer")
+	}
+	s.Release()
+	wg.Wait()
+	if first := <-order; first != "urgent" {
+		t.Errorf("first served = %q, want the urgent transfer", first)
+	}
+}
+
+func TestSlotYieldRequeuesAtBack(t *testing.T) {
+	g := NewGate(1, nil)
+	s := g.Acquire(false)
+
+	released := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := g.Acquire(true)
+		close(released)
+		w.Release()
+	}()
+	waitQueued(t, g, 1)
+
+	// Yield hands the slot to the urgent waiter and blocks until it
+	// finishes; the yielder then resumes holding the slot again.
+	waited := s.Yield()
+	<-released
+	if waited < 0 {
+		t.Errorf("Yield returned negative wait %v", waited)
+	}
+	if s.Waited() != waited {
+		t.Errorf("Waited() = %v, want %v", s.Waited(), waited)
+	}
+	if s.ShouldYield() {
+		t.Error("slot still asked to yield with an empty queue")
+	}
+	s.Release()
+	wg.Wait()
+}
+
+func TestNilGateAdmitsEverything(t *testing.T) {
+	var g *Gate
+	s := g.Acquire(true)
+	if s != nil {
+		t.Fatal("nil gate returned a slot")
+	}
+	if s.ShouldYield() {
+		t.Error("nil slot asked to yield")
+	}
+	if s.Waited() != 0 {
+		t.Error("nil slot reports wait time")
+	}
+	s.Yield()
+	s.Release()
+}
+
+func waitQueued(t *testing.T, g *Gate, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		q := len(g.queue)
+		g.mu.Unlock()
+		if q >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d waiters", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

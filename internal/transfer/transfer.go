@@ -1,0 +1,87 @@
+// Package transfer is the checkpoint data plane: chunked, resumable,
+// CRC-verified movement of checkpoint bytes between agents, and the cost
+// model that prices a move by checkpoint size over the topology link it
+// crosses (§4.4 — the claim that rescale and migration are cheap is only
+// honest if the bytes actually move and are actually priced).
+//
+// Framing reuses internal/store's discipline: every chunk carries a
+// CRC-32C (Castagnoli) of its payload, and the whole object carries one
+// more, so a corrupted chunk is detected and re-requested — never
+// silently applied — and a truncated stream is refused, never misread.
+// Transfers resume from the last verified byte offset after a dropped
+// stream instead of restarting.
+package transfer
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"strings"
+)
+
+// castagnoli is the CRC-32C polynomial, the same one internal/store frames
+// journal records with.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC-32C of data.
+func Checksum(data []byte) uint32 {
+	return crc32.Checksum(data, castagnoli)
+}
+
+// chunkCRCMsg is the sentinel text for a per-chunk integrity failure.
+// net/rpc flattens server-side errors to strings (rpc.ServerError), so the
+// receiver's refusal survives the wire only as this message — IsChunkCRC
+// matches it on both the typed and the flattened form.
+const chunkCRCMsg = "transfer: chunk crc mismatch"
+
+// ErrChunkCRC reports a chunk whose payload does not match its CRC-32C.
+// It is retryable: the mover re-requests the chunk and counts a corruption.
+var ErrChunkCRC = errors.New(chunkCRCMsg)
+
+// IsChunkCRC reports whether err is a per-chunk CRC failure, locally typed
+// or flattened through an RPC boundary.
+func IsChunkCRC(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrChunkCRC) || strings.Contains(err.Error(), chunkCRCMsg)
+}
+
+// Chunk is one frame of a streamed checkpoint: a byte range at Offset with
+// its own CRC-32C. Last marks the final frame of the object.
+type Chunk struct {
+	Offset int64
+	Data   []byte
+	CRC    uint32
+	Last   bool
+}
+
+// ChunkAt frames the n bytes of data starting at offset. It panics on an
+// out-of-range slice — callers derive offsets from len(data).
+func ChunkAt(data []byte, offset int64, n int) Chunk {
+	end := offset + int64(n)
+	payload := data[offset:end]
+	return Chunk{
+		Offset: offset,
+		Data:   payload,
+		CRC:    Checksum(payload),
+		Last:   end == int64(len(data)),
+	}
+}
+
+// Verify checks the chunk's payload against its CRC.
+func (c Chunk) Verify() error {
+	if Checksum(c.Data) != c.CRC {
+		return fmt.Errorf("%s: offset %d, %d bytes", chunkCRCMsg, c.Offset, len(c.Data))
+	}
+	return nil
+}
+
+// Offer describes a checkpoint pinned on an agent and available for
+// chunked fetch: its transfer ID, exact byte length, and whole-object
+// CRC-32C. The fetcher refuses any assembly that does not match both.
+type Offer struct {
+	ID   string
+	Size int64
+	CRC  uint32
+}
