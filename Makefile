@@ -7,7 +7,7 @@ GO ?= go
 # The wall-time-gated benchmarks CI compares between the PR base and head.
 BENCH_GATE = BenchmarkFig6aTestbedSmall|BenchmarkFig7aAllocationTimeline
 
-.PHONY: all build test vet lint race fuzz-smoke obs-check faults-check store-check trace-check transfer-check ci ci-sync-check bench bench-base
+.PHONY: all build test vet lint race fuzz-smoke obs-check faults-check store-check trace-check transfer-check sim-check ci ci-sync-check bench bench-base
 
 all: build test
 
@@ -50,6 +50,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzAdmissionControl -fuzztime=10s ./internal/core/
 	$(GO) test -run=^$$ -fuzz=FuzzJournalRoundTrip -fuzztime=10s ./internal/store/
 	$(GO) test -run=^$$ -fuzz=FuzzCheckpointTransfer -fuzztime=10s ./internal/transfer/
+	$(GO) test -run=^$$ -fuzz=FuzzParallelSimEquivalence -fuzztime=10s ./internal/sim/
 
 # obs-check exercises the observability core under the race detector (the
 # bus and registry are the only pieces shared across goroutines by design)
@@ -94,7 +95,18 @@ transfer-check:
 	$(GO) test -race -run 'Transfer|Staged|Chunk' ./internal/agent/ ./internal/cluster/
 	$(GO) run ./cmd/eflint ./internal/transfer/
 
-ci: build vet lint race fuzz-smoke obs-check faults-check store-check trace-check transfer-check
+# sim-check proves the sharded parallel engine (DESIGN.md §15) is
+# byte-identical to the serial loop under the race detector — the full oracle
+# suite: worker-sweep and shard-count equivalence, GOMAXPROCS=1 progress, the
+# golden determinism/span trails, and the shard-aware MaxSimSec abort — then
+# smokes the million-job pipeline end-to-end at reduced scale: the scale
+# experiment replays a seeded prefix of the Philly-scale trace at workers
+# 1/2/4/8 and cross-checks the DSR across worker counts.
+sim-check:
+	$(GO) test -race -run 'Parallel|MaxSimSec|Determinism' ./internal/sim/
+	$(GO) run ./cmd/efbench -exp scale -quick
+
+ci: build vet lint race fuzz-smoke obs-check faults-check store-check trace-check transfer-check sim-check
 
 # bench runs the gated benchmarks and, when a baseline exists, applies the
 # same regression gate CI does. Capture the baseline on the base commit with

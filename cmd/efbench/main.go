@@ -63,7 +63,7 @@ func main() {
 	// efbench is the measurement harness, so it injects the real wall clock;
 	// the experiments package itself stays deterministic (detlint-enforced).
 	opts := experiments.Options{Quick: *quick, Clock: time.Now}
-	report := &bench.Report{GoVersion: runtime.Version(), Quick: *quick}
+	report := &bench.Report{GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(), Quick: *quick}
 	for _, id := range ids {
 		gen, ok := experiments.Registry[id]
 		if !ok {
@@ -89,6 +89,7 @@ func main() {
 			PlanCacheHits:   hits,
 			PlanCacheMisses: misses,
 			Metrics:         table.Metrics,
+			Scale:           table.Scale,
 		})
 		fmt.Println(table)
 		fmt.Printf("(%s took %.1fs)\n\n", id, wall)

@@ -38,15 +38,46 @@ type Experiment struct {
 	// cannot express (e.g. the store experiment's append throughput and
 	// recovery latency). Absent for experiments that report none.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Scale is the parallel-simulator self-profile: jobs/sec per worker
+	// count plus the fitted Universal Scaling Law. Only the `scale`
+	// experiment emits it (efbench/3).
+	Scale *ScaleProfile `json:"scale,omitempty"`
+}
+
+// ScalePoint is one worker count's throughput measurement from the scale
+// experiment's sweep.
+type ScalePoint struct {
+	// Workers is the sim.Config.Workers value of this run (1 = serial loop).
+	Workers int `json:"workers"`
+	// JobsPerSec is trace jobs simulated per wall-clock second.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// Speedup is JobsPerSec relative to the 1-worker point.
+	Speedup float64 `json:"speedup"`
+}
+
+// ScaleProfile records the scale experiment's worker sweep and the Universal
+// Scaling Law fit over it: C(p) = p / (1 + σ(p−1) + κ·p(p−1)), where σ is the
+// contention (serial-fraction) coefficient and κ the coherency (crosstalk)
+// coefficient. PeakWorkers = √((1−σ)/κ) is the fitted throughput peak
+// (0 when κ = 0, i.e. no retrograde point).
+type ScaleProfile struct {
+	Points      []ScalePoint `json:"points"`
+	Sigma       float64      `json:"usl_sigma"`
+	Kappa       float64      `json:"usl_kappa"`
+	PeakWorkers float64      `json:"usl_peak_workers,omitempty"`
 }
 
 // Report is the top-level BENCH.json document.
 type Report struct {
-	// Schema names this format; "efbench/2" since the tracing calibration
-	// fields were added (v1 documents remain readable).
+	// Schema names this format; "efbench/3" since the scale profile and
+	// NumCPU fields were added (v1 and v2 documents remain readable).
 	Schema string `json:"schema"`
 	// GoVersion records the toolchain (runtime.Version()).
 	GoVersion string `json:"go_version"`
+	// NumCPU records the logical CPUs of the measuring host
+	// (runtime.NumCPU()) — parallel speedups are meaningless without it,
+	// and benchgate's @cpus>= rule conditions read it.
+	NumCPU int `json:"num_cpu,omitempty"`
 	// Quick reports whether workloads were shrunk (-quick).
 	Quick bool `json:"quick"`
 	// Experiments holds one record per experiment run, in run order.
@@ -62,16 +93,17 @@ type Report struct {
 	TraceOverhead float64 `json:"trace_overhead,omitempty"`
 }
 
-// SchemaV1 and SchemaV2 are the known Report.Schema values; Finalize stamps
-// V2, Read accepts both.
+// SchemaV1..V3 are the known Report.Schema values; Finalize stamps V3, Read
+// accepts all three.
 const (
 	SchemaV1 = "efbench/1"
 	SchemaV2 = "efbench/2"
+	SchemaV3 = "efbench/3"
 )
 
 // Finalize derives the rate and total fields from the raw counts.
 func (r *Report) Finalize() {
-	r.Schema = SchemaV2
+	r.Schema = SchemaV3
 	r.TotalWallSec = 0
 	for i := range r.Experiments {
 		e := &r.Experiments[i]
@@ -99,8 +131,8 @@ func Read(rd io.Reader) (*Report, error) {
 	if err := json.NewDecoder(rd).Decode(&r); err != nil {
 		return nil, fmt.Errorf("bench: decoding report: %w", err)
 	}
-	if r.Schema != SchemaV1 && r.Schema != SchemaV2 {
-		return nil, fmt.Errorf("bench: unknown schema %q (want %q or %q)", r.Schema, SchemaV1, SchemaV2)
+	if r.Schema != SchemaV1 && r.Schema != SchemaV2 && r.Schema != SchemaV3 {
+		return nil, fmt.Errorf("bench: unknown schema %q (want %q, %q or %q)", r.Schema, SchemaV1, SchemaV2, SchemaV3)
 	}
 	return &r, nil
 }

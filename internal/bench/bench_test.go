@@ -13,17 +13,25 @@ import (
 func TestReportRoundTrip(t *testing.T) {
 	r := &Report{
 		GoVersion: "go1.22",
+		NumCPU:    8,
 		Quick:     true,
 		Experiments: []Experiment{
 			{ID: "fig6a", WallSec: 0.25, Decisions: 120, Allocations: 480, PlanCacheHits: 900, PlanCacheMisses: 100},
 			{ID: "fig7a", WallSec: 2.5, Decisions: 400, Allocations: 4000, PlanCacheHits: 0, PlanCacheMisses: 0},
+			{ID: "scale", WallSec: 1.5, Scale: &ScaleProfile{
+				Points: []ScalePoint{
+					{Workers: 1, JobsPerSec: 1000, Speedup: 1},
+					{Workers: 8, JobsPerSec: 5200, Speedup: 5.2},
+				},
+				Sigma: 0.05, Kappa: 0.002, PeakWorkers: 21.8,
+			}},
 		},
 		SpanCount:     1234,
 		TraceOverhead: 0.021,
 	}
 	r.Finalize()
 
-	if r.Schema != SchemaV2 {
+	if r.Schema != SchemaV3 {
 		t.Fatalf("schema = %q", r.Schema)
 	}
 	if got, want := r.Experiments[0].DecisionsPerSec, 480.0; math.Abs(got-want) > 1e-9 {
@@ -35,7 +43,7 @@ func TestReportRoundTrip(t *testing.T) {
 	if r.Experiments[1].PlanCacheHitRate != 0 {
 		t.Errorf("zero-traffic hit rate = %v want 0", r.Experiments[1].PlanCacheHitRate)
 	}
-	if got, want := r.TotalWallSec, 2.75; math.Abs(got-want) > 1e-12 {
+	if got, want := r.TotalWallSec, 4.25; math.Abs(got-want) > 1e-12 {
 		t.Errorf("total wall = %v want %v", got, want)
 	}
 
@@ -80,13 +88,36 @@ func TestReadAcceptsV1(t *testing.T) {
 	if r.SpanCount != 0 || r.TraceOverhead != 0 {
 		t.Errorf("v1 document grew tracing fields: %+v", r)
 	}
+	if r.NumCPU != 0 || r.Experiments[0].Scale != nil {
+		t.Errorf("v1 document grew v3 fields: %+v", r)
+	}
+}
+
+// TestReadAcceptsV2 keeps v2 documents (tracing calibration, no scale
+// profile) readable alongside v1 and v3.
+func TestReadAcceptsV2(t *testing.T) {
+	doc := `{"schema":"efbench/2","go_version":"go1.22","quick":true,` +
+		`"experiments":[],"total_wall_sec":0,"span_count":7,"trace_overhead":0.01}`
+	r, err := Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != SchemaV2 || r.SpanCount != 7 {
+		t.Fatalf("v2 read = %+v", r)
+	}
 }
 
 // TestJSONFieldNames pins the wire names — renaming a field would silently
 // break historical comparisons.
 func TestJSONFieldNames(t *testing.T) {
 	var buf bytes.Buffer
-	r := &Report{Experiments: []Experiment{{ID: "x"}}}
+	r := &Report{
+		NumCPU: 4,
+		Experiments: []Experiment{{ID: "x", Scale: &ScaleProfile{
+			Points: []ScalePoint{{Workers: 2, JobsPerSec: 1, Speedup: 1}},
+			Kappa:  0.001, PeakWorkers: 3,
+		}}},
+	}
 	r.Finalize()
 	if err := r.Write(&buf); err != nil {
 		t.Fatal(err)
@@ -96,6 +127,8 @@ func TestJSONFieldNames(t *testing.T) {
 		`"id"`, `"wall_sec"`, `"decisions"`, `"allocations"`,
 		`"decisions_per_sec"`, `"allocations_per_sec"`,
 		`"plan_cache_hits"`, `"plan_cache_misses"`, `"plan_cache_hit_rate"`,
+		`"num_cpu"`, `"scale"`, `"points"`, `"workers"`, `"jobs_per_sec"`,
+		`"speedup"`, `"usl_sigma"`, `"usl_kappa"`, `"usl_peak_workers"`,
 	} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("BENCH.json missing field %s", want)

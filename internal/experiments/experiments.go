@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/elasticflow/elasticflow/internal/baselines"
+	"github.com/elasticflow/elasticflow/internal/bench"
 	"github.com/elasticflow/elasticflow/internal/core"
 	"github.com/elasticflow/elasticflow/internal/job"
 	"github.com/elasticflow/elasticflow/internal/model"
@@ -33,6 +34,10 @@ type Table struct {
 	// Metrics carries machine-readable scalars alongside the rendered rows;
 	// efbench folds them into the experiment's BENCH.json record.
 	Metrics map[string]float64
+	// Scale is the parallel-simulator self-profile (worker sweep + USL fit);
+	// only the scale experiment sets it. efbench copies it into the
+	// experiment's BENCH.json record (efbench/3).
+	Scale *bench.ScaleProfile
 }
 
 // String renders the table as aligned text.

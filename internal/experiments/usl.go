@@ -1,0 +1,73 @@
+package experiments
+
+import "math"
+
+// FitUSL fits Gunther's Universal Scaling Law to a worker sweep:
+//
+//	C(p) = p / (1 + σ(p−1) + κ·p(p−1))
+//
+// where C(p) is the speedup at p workers, σ the contention (serialized
+// fraction) coefficient and κ the coherency (pairwise-crosstalk) coefficient.
+// Substituting y = p/C(p) − 1 linearizes the model to y = σ(p−1) + κ·p(p−1),
+// a two-parameter least-squares problem solved in closed form via the 2×2
+// normal equations. Both coefficients are clamped to ≥ 0 — negative values
+// are physically meaningless (superlinear noise) and would make the peak
+// prediction nonsense.
+//
+// Points with p ≤ 1 or speedup ≤ 0 contribute nothing (the p = 1 point is the
+// normalization, its residual is identically zero). Fewer than two usable
+// points, or a degenerate system, returns (0, 0).
+func FitUSL(workers []int, speedup []float64) (sigma, kappa float64) {
+	// Normal equations for y = σa + κb with a = p−1, b = p(p−1):
+	//   [Σa²  Σab][σ]   [Σay]
+	//   [Σab  Σb²][κ] = [Σby]
+	var saa, sab, sbb, say, sby float64
+	usable := 0
+	for i, w := range workers {
+		if i >= len(speedup) || w <= 1 || speedup[i] <= 0 {
+			continue
+		}
+		p := float64(w)
+		a := p - 1
+		b := p * a
+		y := p/speedup[i] - 1
+		saa += a * a
+		sab += a * b
+		sbb += b * b
+		say += a * y
+		sby += b * y
+		usable++
+	}
+	if usable < 2 {
+		return 0, 0
+	}
+	det := saa*sbb - sab*sab
+	if math.Abs(det) < 1e-12 {
+		return 0, 0
+	}
+	sigma = (say*sbb - sby*sab) / det
+	kappa = (saa*sby - sab*say) / det
+	if sigma < 0 {
+		sigma = 0
+	}
+	if kappa < 0 {
+		kappa = 0
+	}
+	return sigma, kappa
+}
+
+// USLPeak returns the worker count at which the fitted USL curve peaks,
+// √((1−σ)/κ) — beyond it, adding workers reduces throughput (retrograde
+// scaling). Returns 0 when κ = 0 (no coherency cost ⇒ no peak) or σ ≥ 1.
+func USLPeak(sigma, kappa float64) float64 {
+	if kappa <= 0 || sigma >= 1 {
+		return 0
+	}
+	return math.Sqrt((1 - sigma) / kappa)
+}
+
+// uslSpeedup evaluates the model — shared by the fit test and the scale
+// experiment's table notes.
+func uslSpeedup(p float64, sigma, kappa float64) float64 {
+	return p / (1 + sigma*(p-1) + kappa*p*(p-1))
+}

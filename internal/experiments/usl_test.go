@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFitUSLRecoversKnownCoefficients generates exact USL speedup curves and
+// checks the linearized least-squares fit recovers σ and κ: on noiseless
+// data the linearization is exact, so the recovery should be tight.
+func TestFitUSLRecoversKnownCoefficients(t *testing.T) {
+	cases := []struct {
+		name         string
+		sigma, kappa float64
+	}{
+		{"amdahl-only", 0.08, 0},
+		{"coherency-limited", 0.03, 0.004},
+		{"heavy-contention", 0.3, 0.01},
+		{"linear", 0, 0},
+	}
+	workers := []int{1, 2, 4, 8, 16, 32}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			speedup := make([]float64, len(workers))
+			for i, w := range workers {
+				speedup[i] = uslSpeedup(float64(w), c.sigma, c.kappa)
+			}
+			sigma, kappa := FitUSL(workers, speedup)
+			if math.Abs(sigma-c.sigma) > 1e-9 || math.Abs(kappa-c.kappa) > 1e-9 {
+				t.Errorf("fit = (σ=%v, κ=%v), want (σ=%v, κ=%v)", sigma, kappa, c.sigma, c.kappa)
+			}
+		})
+	}
+}
+
+// TestFitUSLClampsNegative: superlinear (noisy) sweeps must not produce
+// negative coefficients — they are clamped to the physical range.
+func TestFitUSLClampsNegative(t *testing.T) {
+	sigma, kappa := FitUSL([]int{1, 2, 4, 8}, []float64{1, 2.3, 4.9, 10.1})
+	if sigma < 0 || kappa < 0 {
+		t.Errorf("fit returned negative coefficients: σ=%v κ=%v", sigma, kappa)
+	}
+}
+
+// TestFitUSLDegenerate: too few usable points (p>1) yields the zero fit, not
+// a panic or garbage.
+func TestFitUSLDegenerate(t *testing.T) {
+	for _, tc := range [][2][]float64{
+		{{}, {}},
+		{{1}, {1}},
+		{{1, 2}, {1, 0}}, // the only p>1 point has speedup 0
+	} {
+		w := make([]int, len(tc[0]))
+		for i, v := range tc[0] {
+			w[i] = int(v)
+		}
+		if s, k := FitUSL(w, tc[1]); s != 0 || k != 0 {
+			t.Errorf("FitUSL(%v, %v) = (%v, %v), want (0, 0)", w, tc[1], s, k)
+		}
+	}
+}
+
+// TestUSLPeak pins the peak formula: σ=0.05, κ=0.002 peaks at √(0.95/0.002)
+// ≈ 21.79 workers; κ=0 has no peak.
+func TestUSLPeak(t *testing.T) {
+	if got, want := USLPeak(0.05, 0.002), math.Sqrt(0.95/0.002); math.Abs(got-want) > 1e-9 {
+		t.Errorf("peak = %v want %v", got, want)
+	}
+	if got := USLPeak(0.1, 0); got != 0 {
+		t.Errorf("κ=0 peak = %v want 0", got)
+	}
+	if got := USLPeak(1.2, 0.01); got != 0 {
+		t.Errorf("σ≥1 peak = %v want 0", got)
+	}
+}

@@ -356,3 +356,26 @@ func PhillyTrace(jobs int) Trace {
 		Seed:            4242,
 	})
 }
+
+// PhillyScale synthesizes the million-job-class trace the parallel simulator
+// is benchmarked against (the `scale` experiment and `make sim-check`): the
+// Philly duration/size shape replayed over a 2,048-GPU cluster with a large
+// user population and daily submission bursts. At the nominal 1e6 jobs the
+// arrival span is ~100 simulated days, so callers must size MaxSimSec
+// accordingly (the scale experiment does). Equal (jobs, seed) pairs produce
+// byte-identical traces; smaller job counts are prefixes of the same
+// arrival process, which is what the CI smoke runs.
+func PhillyScale(jobs int, seed int64) Trace {
+	return Generate(Config{
+		Name:            "philly-scale",
+		Jobs:            jobs,
+		ClusterGPUs:     2048,
+		Load:            1.15,
+		MeanDurationSec: 2700,
+		DurationSigma:   1.5,
+		Users:           500,
+		BurstEverySec:   86400,
+		BurstFactor:     3,
+		Seed:            seed,
+	})
+}

@@ -168,6 +168,57 @@ func TestPhillyTrace(t *testing.T) {
 	}
 }
 
+// TestPhillyScale pins the million-job-class generator's contract: seeded
+// determinism, the 2,048-GPU cluster, daily bursts, sane offered load, and
+// the prefix property the CI smoke relies on (a small run is the head of the
+// full arrival process, not a different workload).
+func TestPhillyScale(t *testing.T) {
+	const seed = 977
+	tr := PhillyScale(5000, seed)
+	if tr.Name != "philly-scale" || tr.GPUs != 2048 || len(tr.Items) != 5000 {
+		t.Fatalf("unexpected philly-scale trace: %s gpus=%d jobs=%d", tr.Name, tr.GPUs, len(tr.Items))
+	}
+	again := PhillyScale(5000, seed)
+	for i := range tr.Items {
+		if tr.Items[i] != again.Items[i] {
+			t.Fatalf("item %d differs between equal seeds", i)
+		}
+	}
+	if other := PhillyScale(5000, seed+1); other.Items[0].SubmitSec == tr.Items[0].SubmitSec {
+		t.Error("different seeds produced identical first arrivals")
+	}
+	// Prefix property: a 500-job trace is the head of the 5000-job one.
+	small := PhillyScale(500, seed)
+	for i := range small.Items {
+		if small.Items[i] != tr.Items[i] {
+			t.Fatalf("prefix property broken at item %d", i)
+		}
+	}
+	// Offered load near the configured 1.15 (sampling slack), arrivals
+	// sorted, and a plausible user population.
+	s := tr.Stats()
+	if s.OfferedLoad < 0.7 || s.OfferedLoad > 1.7 {
+		t.Errorf("offered load %.2f far from configured 1.15", s.OfferedLoad)
+	}
+	users := map[string]bool{}
+	prev := 0.0
+	for _, it := range tr.Items {
+		if it.SubmitSec < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		prev = it.SubmitSec
+		users[it.User] = true
+	}
+	if len(users) < 100 {
+		t.Errorf("only %d distinct users, want a large population (configured 500)", len(users))
+	}
+	// Arrival rate sanity: ~0.07 jobs/s at this load, so 5000 jobs span
+	// most of a day and the full 1e6-job trace ~160 simulated days.
+	if span := tr.Span(); span < 0.5*86400 || span > 5*86400 {
+		t.Errorf("5000-job span %.0fs outside the expected ~1-day window", span)
+	}
+}
+
 func TestStats(t *testing.T) {
 	tr := Generate(Config{Name: "s", Jobs: 200, ClusterGPUs: 128, Load: 1.0, Seed: 6, BestEffortFraction: 0.25})
 	s := tr.Stats()
