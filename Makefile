@@ -7,7 +7,7 @@ GO ?= go
 # The wall-time-gated benchmarks CI compares between the PR base and head.
 BENCH_GATE = BenchmarkFig6aTestbedSmall|BenchmarkFig7aAllocationTimeline
 
-.PHONY: all build test vet lint race fuzz-smoke obs-check faults-check store-check trace-check transfer-check sim-check ci ci-sync-check bench bench-base
+.PHONY: all build test vet lint race fuzz-smoke obs-check faults-check store-check trace-check transfer-check sim-check front-check ci ci-sync-check bench bench-base
 
 all: build test
 
@@ -106,7 +106,21 @@ sim-check:
 	$(GO) test -race -run 'Parallel|MaxSimSec|Determinism' ./internal/sim/
 	$(GO) run ./cmd/efbench -exp scale -quick
 
-ci: build vet lint race fuzz-smoke obs-check faults-check store-check trace-check transfer-check sim-check
+# front-check exercises the multi-tenant front door (DESIGN.md §16) under
+# the race detector: tenant routing, rate limits, GPU quotas, batched
+# verdicts, the weighted spare-GPU rebalancer and per-shard crash-restart
+# replay in internal/frontdoor; the batched submission path (one journal
+# record and one plan-cache fold per batch, replay byte-identical at every
+# crash prefix) in internal/serverless plus the efserver SIGKILL/restart
+# end-to-end; then lints the package and smokes the open-loop load
+# generator that the 100k-submissions/min floor gates in CI.
+front-check:
+	$(GO) test -race ./internal/frontdoor/
+	$(GO) test -race -run 'Batch|Crash' ./internal/serverless/ ./cmd/efserver/
+	$(GO) run ./cmd/eflint ./internal/frontdoor/
+	$(GO) run ./cmd/efbench -exp frontdoor -quick
+
+ci: build vet lint race fuzz-smoke obs-check faults-check store-check trace-check transfer-check sim-check front-check
 
 # bench runs the gated benchmarks and, when a baseline exists, applies the
 # same regression gate CI does. Capture the baseline on the base commit with

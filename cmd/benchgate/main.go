@@ -10,6 +10,7 @@
 //	benchgate -base base.txt -head head.txt [-threshold 0.15] [-bench regexp]
 //	benchgate -metrics BENCH.json -rule 'scale.jobs_per_sec_w8>=50' \
 //	          -rule 'scale.speedup_w8>=3.0 @cpus>=8'
+//	benchgate -metrics BENCH.json -rules-file rules.txt
 //
 // Medians over -count repetitions absorb runner noise; a single noisy
 // repetition cannot fail the gate. Benchmarks present on only one side are
@@ -92,7 +93,17 @@ func main() {
 	metrics := flag.String("metrics", "", "BENCH.json report to gate with -rule assertions")
 	var rules ruleList
 	flag.Var(&rules, "rule", "metric rule, e.g. 'scale.speedup_w8>=3.0 @cpus>=8' (repeatable; requires -metrics)")
+	rulesFile := flag.String("rules-file", "", "file of metric rules, one per line (# comments; requires -metrics)")
 	flag.Parse()
+
+	if *rulesFile != "" {
+		fromFile, err := readRulesFile(*rulesFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		rules = append(rules, fromFile...)
+	}
 
 	if *metrics != "" {
 		if len(rules) == 0 {

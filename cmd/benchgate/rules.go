@@ -14,6 +14,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 
@@ -70,6 +71,29 @@ func parseRule(s string) (rule, error) {
 	}
 	r.value = v
 	return r, nil
+}
+
+// readRulesFile loads rules from a file, one per line; blank lines and
+// #-comments are skipped. A file that yields no rules is an error — a gate
+// config that silently checks nothing is exactly the misconfiguration this
+// refuses to paper over.
+func readRulesFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("rules file %s contains no rules", path)
+	}
+	return out, nil
 }
 
 // ruleOutcome is one rule's evaluation against a report.

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/elasticflow/elasticflow/internal/bench"
@@ -48,10 +51,69 @@ func TestParseRule(t *testing.T) {
 		"scale.x>=abc",           // bad value
 		"scale.x>=1 @cpus>=zero", // bad condition
 		"scale.x==1",             // unsupported operator
+		"scale.x>=1 @cpus>=",     // empty threshold
+		"scale.x>=1 @cpus>=0",    // a rule no host could skip-test is a typo
+		"scale.x>=1 @cpus>=-3",   // negative threshold
+		"scale.x>=1 @cpus>=3.5",  // fractional CPU count
+		".x>=1",                  // empty experiment
 	} {
 		if _, err := parseRule(bad); err == nil {
 			t.Errorf("parseRule(%q) accepted", bad)
 		}
+	}
+}
+
+// TestEvalRuleUnknownNames pins the loud-failure messages: a rule naming an
+// experiment or metric absent from the report must fail (not skip) and say
+// which name was missing.
+func TestEvalRuleUnknownNames(t *testing.T) {
+	rep := report(16)
+	cases := []struct {
+		rule, wantSubstr string
+	}{
+		{"frontdoor.submissions_per_min>=100000", `experiment "frontdoor" not in report`},
+		{"scale.submissions_per_min>=100000", `metric "submissions_per_min" missing`},
+	}
+	for _, c := range cases {
+		r, err := parseRule(c.rule)
+		if err != nil {
+			t.Fatalf("parseRule(%q): %v", c.rule, err)
+		}
+		o := evalRule(r, rep)
+		if !o.failed {
+			t.Errorf("evalRule(%q) did not fail", c.rule)
+		}
+		if !strings.Contains(o.status, c.wantSubstr) {
+			t.Errorf("evalRule(%q) status %q, want substring %q", c.rule, o.status, c.wantSubstr)
+		}
+	}
+}
+
+func TestReadRulesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rules.txt")
+	if err := os.WriteFile(path, []byte(
+		"# perf floors\n\n  scale.jobs_per_sec_w8>=50  \nfrontdoor.submissions_per_min>=100000 @cpus>=8\n#trailing comment\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := readRulesFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"scale.jobs_per_sec_w8>=50", "frontdoor.submissions_per_min>=100000 @cpus>=8"}
+	if len(rules) != len(want) || rules[0] != want[0] || rules[1] != want[1] {
+		t.Fatalf("rules = %q, want %q", rules, want)
+	}
+
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("# only comments\n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readRulesFile(empty); err == nil {
+		t.Error("rules file with no rules accepted")
+	}
+	if _, err := readRulesFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing rules file accepted")
 	}
 }
 

@@ -90,6 +90,7 @@ func main() {
 			PlanCacheMisses: misses,
 			Metrics:         table.Metrics,
 			Scale:           table.Scale,
+			Frontdoor:       table.Frontdoor,
 		})
 		fmt.Println(table)
 		fmt.Printf("(%s took %.1fs)\n\n", id, wall)

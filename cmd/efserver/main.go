@@ -5,6 +5,7 @@
 //
 //	efserver [-addr :8080] [-servers 2] [-gpus-per-server 8] [-timescale 1]
 //	         [-state-dir DIR] [-snapshot-every 256] [-chaos 1@30s+60s,kill@90s]
+//	         [-shards K] [-tenants SPEC] [-batch-max 64]
 //
 // Submit a training function with:
 //
@@ -24,6 +25,17 @@
 // t=90s — the crash half of a durability drill, restart it against the same
 // -state-dir to run the recovery half. Server failures are also injectable
 // at runtime via POST /v1/cluster/servers/{id}/down and .../up.
+//
+// -shards K (K>1) or -tenants enables the multi-tenant front door
+// (DESIGN.md §16): submissions tagged with a tenant namespace pass
+// per-tenant token-bucket rate limits and GPU quotas, then batch per
+// scheduling epoch onto one of K control-plane shards, each owning its own
+// -servers × -gpus-per-server partition and (with -state-dir) its own
+// WAL+snapshot directory under <state-dir>/shard-<k>. -tenants takes
+// "name:rate=R,burst=B,gpus=G" specs, semicolon-separated. Per-shard
+// control planes (including each shard's /metrics, /debug/events and
+// /debug/trace) are served under /v1/shards/{k}/; -chaos is a
+// single-platform feature — inject per-shard failures over HTTP instead.
 //
 // Observability: GET /metrics serves Prometheus text exposition,
 // GET /debug/events?since=<seq>&limit=<n> the structured scheduler event
@@ -53,6 +65,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/elasticflow/elasticflow/internal/frontdoor"
 	"github.com/elasticflow/elasticflow/internal/obs"
 	"github.com/elasticflow/elasticflow/internal/obs/tracing"
 	"github.com/elasticflow/elasticflow/internal/serverless"
@@ -145,6 +158,9 @@ func run(args []string, stdout io.Writer) error {
 	stateDir := fs.String("state-dir", "", "directory for the durable journal + snapshots (empty: in-memory only)")
 	snapEvery := fs.Int("snapshot-every", 256, "journal records between snapshots (with -state-dir; 0 disables)")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+	shards := fs.Int("shards", 1, "control-plane shards behind the multi-tenant front door (>1 enables it; each shard owns its own -servers × -gpus-per-server partition and WAL)")
+	tenantSpec := fs.String("tenants", "", "per-tenant policy, e.g. acme:rate=100,burst=200,gpus=32;globex:gpus=16 (implies the front door)")
+	batchMax := fs.Int("batch-max", 64, "max submissions one front-door admission batch may carry")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -152,6 +168,25 @@ func run(args []string, stdout io.Writer) error {
 	schedule, err := parseChaos(*chaos)
 	if err != nil {
 		return err
+	}
+
+	tenants, err := frontdoor.ParseTenants(*tenantSpec)
+	if err != nil {
+		return err
+	}
+	if *shards > 1 || len(tenants) > 0 {
+		if len(schedule) > 0 {
+			return fmt.Errorf("efserver: -chaos targets the single-platform mode; inject per-shard failures via POST /v1/shards/{k}/v1/cluster/servers/{id}/down instead")
+		}
+		return runFrontDoor(frontdoor.Options{
+			Shards:        *shards,
+			ShardTopology: topology.Config{Servers: *servers, GPUsPerServer: *perServer},
+			Tenants:       tenants,
+			MaxBatch:      *batchMax,
+			TimeScale:     *timescale,
+			StateDir:      *stateDir,
+			SnapshotEvery: *snapEvery,
+		}, *addr, *pprofOn, stdout)
 	}
 	// The server always traces: span trails are bounded by the ring and
 	// cost one mutex hop per lifecycle step, and /debug/trace is the only
@@ -248,6 +283,79 @@ func run(args []string, stdout io.Writer) error {
 	// (the write would not be durable), while reads keep draining below.
 	if err := p.Shutdown(); err != nil {
 		log.Printf("efserver: journal flush: %v", err)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("efserver: shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("efserver: serve: %v", err)
+	}
+	<-tickerDone
+	return nil
+}
+
+// runFrontDoor serves the sharded multi-tenant mode: K shard platforms with
+// their own WALs behind the batched admission tier (DESIGN.md §16).
+func runFrontDoor(opts frontdoor.Options, addr string, pprofOn bool, stdout io.Writer) error {
+	fd, err := frontdoor.New(opts)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	tickerDone := make(chan struct{})
+	go func() {
+		defer close(tickerDone)
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				// The front door's scheduling epoch: advance every shard
+				// and refresh the quota/capacity caches.
+				fd.Tick()
+			}
+		}
+	}()
+
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		stop()
+		<-tickerDone
+		return err
+	}
+	handler := frontdoor.Handler(fd)
+	if pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	srv := &http.Server{Handler: handler}
+	shards := fd.Shards()
+	fmt.Fprintf(stdout, "efserver: front door over %d shard(s), %d GPUs total, listening on %s (front-door metrics on /metrics, per-shard planes on /v1/shards/{k}/)\n",
+		shards, shards*opts.ShardTopology.Servers*opts.ShardTopology.GPUsPerServer, l.Addr())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		stop()
+		<-tickerDone
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("efserver: shutting down front door")
+	// Drain batchers and flush every shard journal first, so mutations are
+	// rejected with 503 while reads keep draining below.
+	if err := fd.Shutdown(); err != nil {
+		log.Printf("efserver: shard shutdown: %v", err)
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

@@ -42,6 +42,11 @@ type Controller struct {
 	homes   map[string]string         // job → agent name. guarded by mu
 	rng     *rand.Rand                // backoff jitter. guarded by mu
 	gates   map[string]*transfer.Gate // agent name → transfer admission. guarded by mu
+
+	// links is the per-agent measured-bandwidth EWMA table, non-nil only
+	// when ControllerOptions.LinkClock enabled measurement. Internally
+	// locked; set once at construction.
+	links *transfer.LinkStats
 }
 
 // ControllerOptions tunes the controller's RPC robustness policy. The zero
@@ -73,6 +78,11 @@ type ControllerOptions struct {
 	// TransferCap bounds concurrent checkpoint transfers per agent
 	// (default transfer.DefaultTransferCap). Negative disables the gate.
 	TransferCap int
+	// LinkClock, when set, turns on measured-bandwidth accounting: every
+	// checkpoint transfer feeds a per-agent EWMA exported as
+	// ef_transfer_link_bps. Nil — the default — keeps the data plane
+	// clock-free (tests and the simulator never read wall time).
+	LinkClock func() time.Time
 }
 
 // DefaultDial opens a plain net/rpc TCP connection.
@@ -145,7 +155,7 @@ func NewControllerWith(opts ControllerOptions) *Controller {
 	if opts.Dial == nil {
 		opts.Dial = DefaultDial
 	}
-	return &Controller{
+	c := &Controller{
 		opts:    opts,
 		clients: make(map[string]faults.Caller),
 		addrs:   make(map[string]string),
@@ -155,6 +165,10 @@ func NewControllerWith(opts ControllerOptions) *Controller {
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		gates:   make(map[string]*transfer.Gate),
 	}
+	if opts.LinkClock != nil {
+		c.links = &transfer.LinkStats{Publish: opts.Obs.SetTransferLinkBps}
+	}
+	return c
 }
 
 // Connect dials an agent and registers it under name. Reconnecting a name

@@ -1,0 +1,81 @@
+package agent
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/elasticflow/elasticflow/internal/obs"
+)
+
+// TestFetchCheckpointMeasuresLinkBandwidth: with LinkClock set, a fetch
+// feeds the per-agent bandwidth EWMA and the table lands in
+// ef_transfer_link_bps; without it (the default), nothing is measured.
+func TestFetchCheckpointMeasuresLinkBandwidth(t *testing.T) {
+	o := obs.NewDefault()
+	tick := time.Unix(0, 0)
+	clock := func() time.Time {
+		now := tick
+		tick = tick.Add(time.Second)
+		return now
+	}
+	c := NewControllerWith(ControllerOptions{Sleep: noSleep, Obs: o, ChunkSize: 8, LinkClock: clock})
+	defer c.Close()
+	if err := c.Connect("A", liveAgent(t, "A")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Launch("j", testSpec(), "A", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step("j", 10); err != nil {
+		t.Fatal(err)
+	}
+
+	_, stats, err := c.FetchCheckpoint("j", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mover read the clock exactly twice around the fetch, so the
+	// sample is stats.Bytes over one 1s step — and the first sample primes
+	// the EWMA, so the table holds it exactly.
+	bps, ok := c.LinkBPS("A")
+	if !ok {
+		t.Fatal("no bandwidth recorded for link A")
+	}
+	if want := float64(stats.Bytes); bps != want {
+		t.Fatalf("link A bps = %v, want %v", bps, want)
+	}
+
+	var b strings.Builder
+	if err := o.Metrics.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `ef_transfer_link_bps{link="A"}`) {
+		t.Error("metrics missing ef_transfer_link_bps for link A")
+	}
+}
+
+func TestLinkBandwidthDefaultOff(t *testing.T) {
+	o := obs.NewDefault()
+	c := NewControllerWith(ControllerOptions{Sleep: noSleep, Obs: o, ChunkSize: 8})
+	defer c.Close()
+	if err := c.Connect("A", liveAgent(t, "A")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Launch("j", testSpec(), "A", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.FetchCheckpoint("j", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.LinkBPS("A"); ok {
+		t.Fatal("bandwidth measured without a LinkClock")
+	}
+	var b strings.Builder
+	if err := o.Metrics.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "ef_transfer_link_bps{") {
+		t.Error("ef_transfer_link_bps exported a sample with measurement off")
+	}
+}

@@ -65,6 +65,7 @@ var registerMethods = map[string]int{
 	"Gauge":        -1,
 	"Histogram":    -1,
 	"CounterVec":   2,
+	"GaugeVec":     2,
 	"HistogramVec": 3,
 }
 

@@ -42,6 +42,9 @@ type Experiment struct {
 	// count plus the fitted Universal Scaling Law. Only the `scale`
 	// experiment emits it (efbench/3).
 	Scale *ScaleProfile `json:"scale,omitempty"`
+	// Frontdoor is the multi-tenant admission-tier load profile. Only the
+	// `frontdoor` experiment emits it (efbench/4).
+	Frontdoor *FrontdoorProfile `json:"frontdoor,omitempty"`
 }
 
 // ScalePoint is one worker count's throughput measurement from the scale
@@ -67,10 +70,39 @@ type ScaleProfile struct {
 	PeakWorkers float64      `json:"usl_peak_workers,omitempty"`
 }
 
+// FrontdoorProfile records the front-door load-generator run: open-loop
+// arrival volume, sustained admission throughput and latency tail across
+// the sharded control plane (efbench/4).
+type FrontdoorProfile struct {
+	// Shards is the control-plane shard count behind the front door.
+	Shards int `json:"shards"`
+	// Tenants is the number of distinct tenant namespaces in the workload.
+	Tenants int `json:"tenants"`
+	// Submissions is the total arrivals pushed through the admission tier.
+	Submissions int `json:"submissions"`
+	// SubmissionsPerMin is the sustained admission throughput.
+	SubmissionsPerMin float64 `json:"submissions_per_min"`
+	// P50AdmissionMs / P99AdmissionMs are the enqueue-to-verdict latency
+	// percentiles in milliseconds.
+	P50AdmissionMs float64 `json:"p50_admission_ms"`
+	P99AdmissionMs float64 `json:"p99_admission_ms"`
+	// MeanBatch is the mean submissions amortized per admission batch
+	// (one journal record and one plan-cache fold each).
+	MeanBatch float64 `json:"mean_batch"`
+	// MaxBatch is the largest batch observed.
+	MaxBatch int `json:"max_batch"`
+	// RateLimited and QuotaRejected count front-door rejections.
+	RateLimited   int `json:"rate_limited,omitempty"`
+	QuotaRejected int `json:"quota_rejected,omitempty"`
+	// Rebalanced counts submissions the spare-GPU rebalancer routed off
+	// their home shard.
+	Rebalanced int `json:"rebalanced,omitempty"`
+}
+
 // Report is the top-level BENCH.json document.
 type Report struct {
-	// Schema names this format; "efbench/3" since the scale profile and
-	// NumCPU fields were added (v1 and v2 documents remain readable).
+	// Schema names this format; "efbench/4" since the frontdoor profile
+	// was added (v1, v2 and v3 documents remain readable).
 	Schema string `json:"schema"`
 	// GoVersion records the toolchain (runtime.Version()).
 	GoVersion string `json:"go_version"`
@@ -93,17 +125,18 @@ type Report struct {
 	TraceOverhead float64 `json:"trace_overhead,omitempty"`
 }
 
-// SchemaV1..V3 are the known Report.Schema values; Finalize stamps V3, Read
-// accepts all three.
+// SchemaV1..V4 are the known Report.Schema values; Finalize stamps V4, Read
+// accepts all four.
 const (
 	SchemaV1 = "efbench/1"
 	SchemaV2 = "efbench/2"
 	SchemaV3 = "efbench/3"
+	SchemaV4 = "efbench/4"
 )
 
 // Finalize derives the rate and total fields from the raw counts.
 func (r *Report) Finalize() {
-	r.Schema = SchemaV3
+	r.Schema = SchemaV4
 	r.TotalWallSec = 0
 	for i := range r.Experiments {
 		e := &r.Experiments[i]
@@ -131,8 +164,8 @@ func Read(rd io.Reader) (*Report, error) {
 	if err := json.NewDecoder(rd).Decode(&r); err != nil {
 		return nil, fmt.Errorf("bench: decoding report: %w", err)
 	}
-	if r.Schema != SchemaV1 && r.Schema != SchemaV2 && r.Schema != SchemaV3 {
-		return nil, fmt.Errorf("bench: unknown schema %q (want %q, %q or %q)", r.Schema, SchemaV1, SchemaV2, SchemaV3)
+	if r.Schema != SchemaV1 && r.Schema != SchemaV2 && r.Schema != SchemaV3 && r.Schema != SchemaV4 {
+		return nil, fmt.Errorf("bench: unknown schema %q (want %q, %q, %q or %q)", r.Schema, SchemaV1, SchemaV2, SchemaV3, SchemaV4)
 	}
 	return &r, nil
 }

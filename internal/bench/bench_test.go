@@ -31,7 +31,7 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 	r.Finalize()
 
-	if r.Schema != SchemaV3 {
+	if r.Schema != SchemaV4 {
 		t.Fatalf("schema = %q", r.Schema)
 	}
 	if got, want := r.Experiments[0].DecisionsPerSec, 480.0; math.Abs(got-want) > 1e-9 {
@@ -107,6 +107,27 @@ func TestReadAcceptsV2(t *testing.T) {
 	}
 }
 
+// TestReadAcceptsV3 keeps v3 documents (scale profile, no frontdoor
+// profile) readable alongside the older versions.
+func TestReadAcceptsV3(t *testing.T) {
+	doc := `{"schema":"efbench/3","go_version":"go1.22","num_cpu":8,"quick":false,` +
+		`"experiments":[{"id":"scale","wall_sec":1,"decisions":0,"allocations":0,` +
+		`"decisions_per_sec":0,"allocations_per_sec":0,` +
+		`"plan_cache_hits":0,"plan_cache_misses":0,"plan_cache_hit_rate":0,` +
+		`"scale":{"points":[{"workers":1,"jobs_per_sec":100,"speedup":1}],` +
+		`"usl_sigma":0.1,"usl_kappa":0}}],"total_wall_sec":1}`
+	r, err := Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != SchemaV3 || len(r.Experiments) != 1 || r.Experiments[0].Scale == nil {
+		t.Fatalf("v3 read = %+v", r)
+	}
+	if r.Experiments[0].Frontdoor != nil {
+		t.Errorf("v3 document grew v4 fields: %+v", r)
+	}
+}
+
 // TestJSONFieldNames pins the wire names — renaming a field would silently
 // break historical comparisons.
 func TestJSONFieldNames(t *testing.T) {
@@ -116,6 +137,11 @@ func TestJSONFieldNames(t *testing.T) {
 		Experiments: []Experiment{{ID: "x", Scale: &ScaleProfile{
 			Points: []ScalePoint{{Workers: 2, JobsPerSec: 1, Speedup: 1}},
 			Kappa:  0.001, PeakWorkers: 3,
+		}, Frontdoor: &FrontdoorProfile{
+			Shards: 4, Tenants: 3, Submissions: 1000,
+			SubmissionsPerMin: 120000, P50AdmissionMs: 1, P99AdmissionMs: 9,
+			MeanBatch: 12.5, MaxBatch: 64,
+			RateLimited: 5, QuotaRejected: 2, Rebalanced: 7,
 		}}},
 	}
 	r.Finalize()
@@ -129,6 +155,10 @@ func TestJSONFieldNames(t *testing.T) {
 		`"plan_cache_hits"`, `"plan_cache_misses"`, `"plan_cache_hit_rate"`,
 		`"num_cpu"`, `"scale"`, `"points"`, `"workers"`, `"jobs_per_sec"`,
 		`"speedup"`, `"usl_sigma"`, `"usl_kappa"`, `"usl_peak_workers"`,
+		`"frontdoor"`, `"shards"`, `"tenants"`, `"submissions"`,
+		`"submissions_per_min"`, `"p50_admission_ms"`, `"p99_admission_ms"`,
+		`"mean_batch"`, `"max_batch"`, `"rate_limited"`, `"quota_rejected"`,
+		`"rebalanced"`,
 	} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("BENCH.json missing field %s", want)

@@ -356,6 +356,141 @@ func (e *ElasticFlow) traceAdmit(now float64, cand *job.Job, v admitVerdict) {
 	o.Tracer().Emit(now, tracing.SpanPlan, cand.ID, attrs...)
 }
 
+// AdmitBatch amortizes Algorithm 1 across one admission batch — a sequence
+// of candidates decided at a single timestamp against an append-only active
+// set (the serverless platform's batched submit path). Two folds are reused:
+//
+//   - Pass 1 of admitExplained (which active jobs are satisfiable today)
+//     depends only on (now, active, g), so it is computed once per active-set
+//     length instead of once per candidate.
+//   - A rejected candidate's verdict and counter-offer depend only on its
+//     shape (model, batch geometry, work, deadline, GPU bounds) — never its
+//     ID, because every batch candidate carries a later sequence number than
+//     any active job, so same-shape candidates occupy the same fill
+//     position. Later same-shape candidates reuse the memoized drop.
+//
+// Both caches invalidate when an admission grows the active set. Sessions
+// are single-goroutine, like the scheduler itself.
+type AdmitBatch struct {
+	e   *ElasticFlow
+	now float64
+	g   int
+
+	okWithout map[string]bool         // pass-1 cache, valid at passLen
+	passLen   int                     // active length the caches were built at
+	passValid bool                    // false until the first SLO candidate
+	drops     map[string]admitVerdict // shape → memoized rejection
+	offers    map[string]offerMemo    // shape → memoized counter-offer
+}
+
+// offerMemo is a memoized EarliestDeadline answer.
+type offerMemo struct {
+	deadline float64
+	ok       bool
+}
+
+// BeginAdmitBatch opens an admission session for one batch decided at now
+// against capacity g.
+func (e *ElasticFlow) BeginAdmitBatch(now float64, g int) *AdmitBatch {
+	return &AdmitBatch{e: e, now: now, g: g}
+}
+
+// shapeKey identifies the candidate fields the feasibility fill reads. IDs
+// are deliberately excluded (see the AdmitBatch contract).
+func shapeKey(j *job.Job) string {
+	return fmt.Sprintf("%s|%d|%g|%g|%d|%d|%g",
+		j.Model.Name, j.GlobalBatch, j.TotalIters, j.Deadline,
+		j.MinGPUs, j.MaxGPUs, j.RescaleOverheadSec)
+}
+
+// refresh rebuilds the pass-1 cache and clears the shape memos when the
+// active set has changed since they were built.
+func (b *AdmitBatch) refresh(active []*job.Job, gAdmit int) {
+	if b.passValid && len(active) == b.passLen {
+		return
+	}
+	b.okWithout, _ = b.e.feasibleSet(b.now, active, nil, gAdmit)
+	b.passLen = len(active)
+	b.passValid = true
+	b.drops = nil
+	b.offers = nil
+}
+
+// Admit is Algorithm 1 for one candidate of the batch, trace-identical to
+// ElasticFlow.Admit. active must reflect every admission the batch has made
+// so far (append-only between calls).
+func (b *AdmitBatch) Admit(cand *job.Job, active []*job.Job) bool {
+	admitDecisions.Add(1)
+	var v admitVerdict
+	if cand.Class != job.SLO {
+		if b.e.quotaOK(cand) {
+			v = admitVerdict{ok: true, reason: "no-guarantee-needed"}
+		} else {
+			v = admitVerdict{reason: "quota-denied"}
+		}
+		b.e.traceAdmit(b.now, cand, v)
+		return v.ok
+	}
+	gAdmit := b.g - b.e.opts.ReserveGPUs
+	if gAdmit < 1 {
+		gAdmit = 1
+	}
+	b.refresh(active, gAdmit)
+	key := shapeKey(cand)
+	if dv, ok := b.drops[key]; ok {
+		b.e.traceAdmit(b.now, cand, dv)
+		return false
+	}
+	okWith, candFill := b.e.feasibleSet(b.now, active, cand, gAdmit)
+	switch {
+	case !okWith[cand.ID]:
+		v = admitVerdict{reason: "candidate-infeasible", mss: candFill}
+	default:
+		v = admitVerdict{ok: true, reason: "ok", mss: candFill}
+		slo, _ := splitJobs(active)
+		for _, j := range slo {
+			if b.okWithout[j.ID] && !okWith[j.ID] {
+				v = admitVerdict{reason: "breaks-guarantee", victim: j.ID, mss: candFill}
+				break
+			}
+		}
+		if v.ok && !b.e.quotaOK(cand) {
+			v = admitVerdict{reason: "quota-denied"}
+		}
+	}
+	// Quota is operator policy — it may depend on more than the shape, so
+	// only feasibility rejections are memoized.
+	if !v.ok && v.reason != "quota-denied" {
+		if b.drops == nil {
+			b.drops = make(map[string]admitVerdict)
+		}
+		b.drops[key] = v
+	}
+	b.e.traceAdmit(b.now, cand, v)
+	return v.ok
+}
+
+// EarliestDeadline is the memoized counter-offer for a rejected candidate:
+// the binary search is shape-determined, so same-shape drops in one batch
+// pay for it once.
+func (b *AdmitBatch) EarliestDeadline(cand *job.Job, active []*job.Job) (float64, bool) {
+	gAdmit := b.g - b.e.opts.ReserveGPUs
+	if gAdmit < 1 {
+		gAdmit = 1
+	}
+	b.refresh(active, gAdmit)
+	key := shapeKey(cand)
+	if m, ok := b.offers[key]; ok {
+		return m.deadline, m.ok
+	}
+	dl, ok := b.e.EarliestDeadline(b.now, cand, active, b.g)
+	if b.offers == nil {
+		b.offers = make(map[string]offerMemo)
+	}
+	b.offers[key] = offerMemo{deadline: dl, ok: ok}
+	return dl, ok
+}
+
 // EarliestDeadline returns the soonest deadline admission control could
 // guarantee for cand given the currently admitted jobs — what a platform
 // offers a user whose requested deadline was rejected ("the earliest we

@@ -38,6 +38,10 @@ type Table struct {
 	// only the scale experiment sets it. efbench copies it into the
 	// experiment's BENCH.json record (efbench/3).
 	Scale *bench.ScaleProfile
+	// Frontdoor is the admission-tier load profile; only the frontdoor
+	// experiment sets it. efbench copies it into the experiment's
+	// BENCH.json record (efbench/4).
+	Frontdoor *bench.FrontdoorProfile
 }
 
 // String renders the table as aligned text.

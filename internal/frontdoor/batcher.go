@@ -1,0 +1,105 @@
+package frontdoor
+
+import (
+	"sync"
+	"time"
+
+	"github.com/elasticflow/elasticflow/internal/serverless"
+)
+
+// Verdict is the batched admission outcome delivered to one arrival.
+type Verdict struct {
+	Status serverless.JobStatus
+	Err    error
+	// LatencySec is the enqueue-to-verdict admission latency, stamped when
+	// the batch flushed — the same value the ef_frontdoor_admission_seconds
+	// histogram observes. Load generators read it off the (buffered) ticket
+	// channel at leisure without skewing the measurement.
+	LatencySec float64
+}
+
+// Ticket is a pending submission: C yields exactly one Verdict when the
+// batch the submission rode in has been journaled and decided.
+type Ticket struct {
+	C     <-chan Verdict
+	start time.Time
+	ch    chan Verdict
+}
+
+// batcher is one shard's group-commit admission queue. Arrivals enqueue
+// under the mutex; a single flusher goroutine drains up to max tickets per
+// flush and submits them as ONE Platform.SubmitBatch call — one journal
+// record, one plan-cache fold, N verdicts. There is no timer: an arrival on
+// an idle shard flushes immediately, and under load the batch size adapts
+// to however many arrivals queue while the previous flush runs.
+type batcher struct {
+	fd  *FrontDoor
+	p   *serverless.Platform
+	max int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*Ticket // guarded by mu
+	reqs    []serverless.SubmitRequest
+	closed  bool // guarded by mu
+	done    chan struct{}
+}
+
+func newBatcher(fd *FrontDoor, p *serverless.Platform, max int) *batcher {
+	b := &batcher{fd: fd, p: p, max: max, done: make(chan struct{})}
+	b.cond = sync.NewCond(&b.mu)
+	go b.loop()
+	return b
+}
+
+// enqueue queues one submission for the next flush.
+func (b *batcher) enqueue(req serverless.SubmitRequest, start time.Time) (*Ticket, error) {
+	t := &Ticket{start: start, ch: make(chan Verdict, 1)}
+	t.C = t.ch
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, serverless.ErrShuttingDown
+	}
+	b.pending = append(b.pending, t)
+	b.reqs = append(b.reqs, req)
+	b.mu.Unlock()
+	b.cond.Signal()
+	return t, nil
+}
+
+func (b *batcher) loop() {
+	defer close(b.done)
+	for {
+		b.mu.Lock()
+		for len(b.pending) == 0 && !b.closed {
+			b.cond.Wait()
+		}
+		if len(b.pending) == 0 && b.closed {
+			b.mu.Unlock()
+			return
+		}
+		n := len(b.pending)
+		if n > b.max {
+			n = b.max
+		}
+		batch := b.pending[:n:n]
+		reqs := b.reqs[:n:n]
+		b.pending = append([]*Ticket(nil), b.pending[n:]...)
+		b.reqs = append([]serverless.SubmitRequest(nil), b.reqs[n:]...)
+		b.mu.Unlock()
+
+		sts, err := b.p.SubmitBatch(reqs)
+		b.fd.delivered(batch, sts, err)
+	}
+}
+
+// close drains the queue (remaining tickets still flush) and stops the
+// flusher.
+func (b *batcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+	<-b.done
+}

@@ -1,0 +1,127 @@
+package frontdoor
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TenantConfig is the per-tenant admission policy the front door enforces:
+// a token-bucket rate limit on submissions and a GPU quota across shards.
+// Zero values mean "unlimited", so a tenant absent from the config map is
+// simply unconstrained.
+type TenantConfig struct {
+	// RatePerSec is the sustained submission rate the bucket refills at.
+	// 0 disables rate limiting for the tenant.
+	RatePerSec float64
+	// Burst is the bucket depth — how many submissions can arrive back to
+	// back before the rate applies. Defaults to max(1, ceil(RatePerSec)).
+	Burst int
+	// MaxGPUs caps the GPUs the tenant's running jobs may hold, summed
+	// across shards. 0 disables the quota. Enforcement is epoch-granular:
+	// usage is sampled at each Tick, so a burst inside one epoch can
+	// overshoot by the jobs admitted that epoch.
+	MaxGPUs int
+}
+
+// tenantState pairs a tenant's config with its live token bucket.
+// guarded by FrontDoor.mu
+type tenantState struct {
+	cfg    TenantConfig
+	tokens float64
+	last   time.Time
+	primed bool
+}
+
+// allow consumes one token if available, refilling by elapsed clock time.
+func (ts *tenantState) allow(now time.Time) bool {
+	if ts.cfg.RatePerSec <= 0 {
+		return true
+	}
+	burst := float64(ts.cfg.Burst)
+	if burst < 1 {
+		burst = float64(int(ts.cfg.RatePerSec + 0.999))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	if !ts.primed {
+		ts.tokens = burst
+		ts.last = now
+		ts.primed = true
+	}
+	if el := now.Sub(ts.last).Seconds(); el > 0 {
+		ts.tokens += el * ts.cfg.RatePerSec
+		if ts.tokens > burst {
+			ts.tokens = burst
+		}
+		ts.last = now
+	}
+	if ts.tokens >= 1 {
+		ts.tokens--
+		return true
+	}
+	return false
+}
+
+// ParseTenants parses the efserver -tenants flag syntax: semicolon-separated
+// tenant specs, each "name:key=value,...", with keys rate (submissions/sec,
+// float), burst (int) and gpus (int). Example:
+//
+//	acme:rate=100,burst=200,gpus=32;globex:gpus=16
+func ParseTenants(spec string) (map[string]TenantConfig, error) {
+	out := make(map[string]TenantConfig)
+	if strings.TrimSpace(spec) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, ":")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("frontdoor: tenant spec %q: want name:key=value,...", part)
+		}
+		var cfg TenantConfig
+		for _, kv := range strings.Split(rest, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("frontdoor: tenant %s: bad option %q", name, kv)
+			}
+			switch k {
+			case "rate":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || f < 0 {
+					return nil, fmt.Errorf("frontdoor: tenant %s: bad rate %q", name, v)
+				}
+				cfg.RatePerSec = f
+			case "burst":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("frontdoor: tenant %s: bad burst %q", name, v)
+				}
+				cfg.Burst = n
+			case "gpus":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("frontdoor: tenant %s: bad gpus %q", name, v)
+				}
+				cfg.MaxGPUs = n
+			default:
+				return nil, fmt.Errorf("frontdoor: tenant %s: unknown option %q", name, k)
+			}
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("frontdoor: tenant %s configured twice", name)
+		}
+		out[name] = cfg
+	}
+	return out, nil
+}

@@ -91,6 +91,9 @@ type Job struct {
 	// User identifies the submitting DL developer; operator policies
 	// (quotas, pricing, §4.4) key on it. May be empty.
 	User string
+	// Tenant is the namespace the job was submitted under; the front door
+	// keys quotas, rate limits and shard routing on it. May be empty.
+	Tenant string
 	// Model is the DNN to train.
 	Model model.Spec
 	// GlobalBatch is the user-specified global batch size; the platform

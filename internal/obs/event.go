@@ -49,6 +49,12 @@ const (
 	KindInfeasible = "deadline-infeasible"
 )
 
+// Front-door event kinds: one batch frame per flushed admission batch, so
+// the journal and event trail carry the tenant+batch framing end-to-end.
+const (
+	KindBatch = "batch"
+)
+
 // Field is one ordered key/value pair of an event. Values are
 // pre-formatted strings so rendering is deterministic and allocation-free
 // at read time.

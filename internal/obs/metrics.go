@@ -154,6 +154,15 @@ func (cv *CounterVec) With(values ...string) *Counter {
 	return v.(*Counter)
 }
 
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values (created on first use).
+func (gv *GaugeVec) With(values ...string) *Gauge {
+	v := gv.f.child(values, func() value { return &Gauge{} })
+	return v.(*Gauge)
+}
+
 // HistogramVec is a histogram family partitioned by label values.
 type HistogramVec struct{ f *family }
 
@@ -196,6 +205,11 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 func (r *Registry) Gauge(name, help string) *Gauge {
 	f := r.register(name, help, "gauge", nil, nil)
 	return f.child(nil, func() value { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, "gauge", labels, nil)}
 }
 
 // Histogram registers (or fetches) an unlabeled fixed-bucket histogram.

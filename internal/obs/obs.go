@@ -75,6 +75,16 @@ type Obs struct {
 	sloBudget *Histogram // ef_slo_deadline_budget_ratio
 	sloFast   *Gauge     // ef_slo_burn_rate_fast
 	sloSlow   *Gauge     // ef_slo_burn_rate_slow
+
+	frontSubmissions *CounterVec // ef_frontdoor_submissions_total{verdict}
+	frontAdmitSec    *Histogram  // ef_frontdoor_admission_seconds
+	frontBatchSize   *Histogram  // ef_frontdoor_batch_size
+	frontRebalanced  *Counter    // ef_frontdoor_rebalanced_total
+	tenantGPUs       *GaugeVec   // ef_tenant_used_gpus{tenant}
+	tenantQuotaRej   *CounterVec // ef_tenant_quota_rejections_total{tenant}
+	tenantRateLim    *CounterVec // ef_tenant_rate_limited_total{tenant}
+
+	transferLinkBps *GaugeVec // ef_transfer_link_bps{link}
 }
 
 // DecisionBuckets are the fixed upper bounds of ef_sched_decision_seconds:
@@ -88,6 +98,12 @@ var DecisionBuckets = []float64{
 // 1ms (in-process checkpoint restore) up to a minute (real redeployments).
 var RecoveryBuckets = []float64{
 	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// BatchBuckets are the fixed upper bounds of ef_frontdoor_batch_size:
+// powers of two up to the largest admission batch a flush should ever carry.
+var BatchBuckets = []float64{
+	1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
 }
 
 // New creates an Obs with the standard metric catalog pre-registered, so
@@ -144,6 +160,16 @@ func New(opts Options) *Obs {
 		sloBudget: m.Histogram("ef_slo_deadline_budget_ratio", "Fraction of a job's deadline budget consumed at completion ((completion-submit)/(deadline-submit)); >1 is a miss.", BudgetBuckets),
 		sloFast:   m.Gauge("ef_slo_burn_rate_fast", "Deadline-SLO burn rate over the fast (5 min domain-time) window: miss fraction / error budget."),
 		sloSlow:   m.Gauge("ef_slo_burn_rate_slow", "Deadline-SLO burn rate over the slow (1 h domain-time) window: miss fraction / error budget."),
+
+		frontSubmissions: m.CounterVec("ef_frontdoor_submissions_total", "Front-door submissions by verdict (admit, drop, rate-limited, quota, invalid, error).", "verdict"),
+		frontAdmitSec:    m.Histogram("ef_frontdoor_admission_seconds", "Wall time from a submission entering the front door to its batched verdict.", DecisionBuckets),
+		frontBatchSize:   m.Histogram("ef_frontdoor_batch_size", "Submissions amortized into one shard admission batch (one plan-cache fold each).", BatchBuckets),
+		frontRebalanced:  m.Counter("ef_frontdoor_rebalanced_total", "Submissions routed off their home shard by the spare-GPU rebalancer."),
+		tenantGPUs:       m.GaugeVec("ef_tenant_used_gpus", "GPUs currently allocated to a tenant's running jobs, summed across shards.", "tenant"),
+		tenantQuotaRej:   m.CounterVec("ef_tenant_quota_rejections_total", "Submissions rejected at the front door because the tenant's GPU quota is exhausted.", "tenant"),
+		tenantRateLim:    m.CounterVec("ef_tenant_rate_limited_total", "Submissions rejected at the front door by the tenant's token-bucket rate limit.", "tenant"),
+
+		transferLinkBps: m.GaugeVec("ef_transfer_link_bps", "EWMA of observed checkpoint-transfer throughput per link (bytes/sec; only populated when bandwidth measurement is enabled).", "link"),
 	}
 	o.tracer = opts.Tracer
 	// Seed the fixed-verdict series so a scrape before the first decision
@@ -450,6 +476,77 @@ func (o *Obs) ObserveTransferStall(sec float64) {
 		return
 	}
 	o.transferStall.Observe(sec)
+}
+
+// IncFrontdoorSubmission counts one front-door submission by verdict
+// ("admit", "drop", "rate-limited", "quota", "invalid", "error").
+func (o *Obs) IncFrontdoorSubmission(verdict string) {
+	if o == nil {
+		return
+	}
+	o.frontSubmissions.With(verdict).Inc()
+}
+
+// ObserveFrontdoorAdmission records one submission's wall time from front
+// door arrival to batched verdict.
+func (o *Obs) ObserveFrontdoorAdmission(sec float64) {
+	if o == nil {
+		return
+	}
+	o.frontAdmitSec.Observe(sec)
+}
+
+// ObserveFrontdoorBatch records the size of one flushed admission batch.
+func (o *Obs) ObserveFrontdoorBatch(size int) {
+	if o == nil {
+		return
+	}
+	o.frontBatchSize.Observe(float64(size))
+}
+
+// IncFrontdoorRebalanced counts one submission the spare-GPU rebalancer
+// routed off its home shard.
+func (o *Obs) IncFrontdoorRebalanced() {
+	if o == nil {
+		return
+	}
+	o.frontRebalanced.Inc()
+}
+
+// SetTenantGPUs records one tenant's currently allocated GPUs.
+func (o *Obs) SetTenantGPUs(tenant string, n int) {
+	if o == nil {
+		return
+	}
+	o.tenantGPUs.With(tenant).Set(float64(n))
+}
+
+// IncTenantQuotaRejection counts one submission refused for an exhausted
+// GPU quota.
+func (o *Obs) IncTenantQuotaRejection(tenant string) {
+	if o == nil {
+		return
+	}
+	o.tenantQuotaRej.With(tenant).Inc()
+}
+
+// IncTenantRateLimited counts one submission refused by the tenant's
+// token-bucket rate limit.
+func (o *Obs) IncTenantRateLimited(tenant string) {
+	if o == nil {
+		return
+	}
+	o.tenantRateLim.With(tenant).Inc()
+}
+
+// SetTransferLinkBps records the measured-bandwidth EWMA for one link —
+// an agent name on the controller's data plane, or a topology tier
+// ("server", "rack", "cluster").
+func (o *Obs) SetTransferLinkBps(link string, bps float64) {
+	if o == nil {
+		return
+	}
+	o.transferLinkBps.With(link).Set(bps)
 }
 
 // SetUsedGPUs records the current allocated-GPU level.

@@ -63,6 +63,10 @@ const (
 	// SpanSchedEpoch is one scheduler allocation epoch — the plan-cache
 	// fold over the active job set.
 	SpanSchedEpoch = "sched.epoch"
+	// SpanFrontdoorBatch is one flushed front-door admission batch: the
+	// parent of every job lifecycle it admitted, so a job's trail leads
+	// back to the batch (and the single plan-cache fold) that carried it.
+	SpanFrontdoorBatch = "frontdoor.batch"
 	// SpanHeartbeat is one liveness ping from the health monitor to an
 	// agent.
 	SpanHeartbeat = "heartbeat"
@@ -189,6 +193,14 @@ func (t *Tracer) nextIDLocked() uint64 {
 // whose root is already open is a no-op, so replayed admissions stay
 // idempotent.
 func (t *Tracer) StartJob(now float64, jobID string) {
+	t.StartJobUnder(now, jobID, Ref{})
+}
+
+// StartJobUnder begins the job.lifecycle span for a job as a child of the
+// given span — how batched front-door admissions parent every lifecycle
+// they carry under one frontdoor.batch span. An invalid parent ref yields
+// a root span, identical to StartJob.
+func (t *Tracer) StartJobUnder(now float64, jobID string, parent Ref) {
 	if t == nil || jobID == "" {
 		return
 	}
@@ -198,7 +210,7 @@ func (t *Tracer) StartJob(now float64, jobID string) {
 		return
 	}
 	id := t.nextIDLocked()
-	s := &Span{ID: id, Name: SpanJobLifecycle, JobID: jobID, Start: now, End: now, Open: true}
+	s := &Span{ID: id, Parent: parent.id, Name: SpanJobLifecycle, JobID: jobID, Start: now, End: now, Open: true}
 	t.open[id] = s
 	t.order = append(t.order, id)
 	t.roots[jobID] = id

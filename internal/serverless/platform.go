@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +30,11 @@ type SubmitRequest struct {
 	// User identifies the submitting developer; operator policies
 	// (quotas, pricing, §4.4) key on it. Optional.
 	User string `json:"user,omitempty"`
+	// Tenant is the namespace this submission bills against. The front
+	// door (internal/frontdoor) keys rate limits, GPU quotas and shard
+	// routing on it and the journal carries it end-to-end. Optional on a
+	// single-platform deployment.
+	Tenant string `json:"tenant,omitempty"`
 	// Model is a Table 1 model name.
 	Model string `json:"model"`
 	// GlobalBatch is the training hyperparameter; the platform derives
@@ -50,6 +56,7 @@ type SubmitRequest struct {
 type JobStatus struct {
 	ID            string  `json:"id"`
 	User          string  `json:"user,omitempty"`
+	Tenant        string  `json:"tenant,omitempty"`
 	Model         string  `json:"model"`
 	GlobalBatch   int     `json:"global_batch"`
 	State         string  `json:"state"`
@@ -121,6 +128,11 @@ type Options struct {
 	// after that many records. 0 disables periodic snapshots; Shutdown
 	// still takes a final one.
 	SnapshotEvery int
+	// JobPrefix is prepended to generated job IDs ("job-0001" →
+	// "<prefix>job-0001"). The front door gives each shard a distinct
+	// prefix ("s0-", "s1-", …) so job IDs stay globally unique and
+	// route back to their shard.
+	JobPrefix string
 }
 
 // Platform is the running serverless service. All methods are safe for
@@ -144,12 +156,19 @@ type Platform struct {
 	lastTick float64
 
 	seq       int                 // job ID counter. journaled; guarded by mu
+	prefix    string              // job ID prefix (Options.JobPrefix)
+	batches   uint64              // admission batch counter. journaled; guarded by mu
 	active    []*job.Job          // admitted, incomplete jobs. journaled; guarded by mu
 	all       map[string]*job.Job // every job ever submitted. journaled; guarded by mu
 	completed int                 // journaled; guarded by mu
 	dropped   int                 // journaled; guarded by mu
-	observer  func(map[string]int)
-	obs       *obs.Obs
+	// tenantsSeen records every tenant that ever submitted, so per-tenant
+	// usage gauges keep reporting 0 after a tenant's jobs drain instead of
+	// going stale at the last non-zero value. journaled (via job tenants);
+	// guarded by mu
+	tenantsSeen map[string]bool
+	observer    func(map[string]int)
+	obs         *obs.Obs
 	// tr is the span tracer (nil-safe; nil when tracing is disabled).
 	tr *tracing.Tracer
 	// curLSN is the journal LSN of the mutation record currently being
@@ -238,21 +257,23 @@ func newPlatform(opts Options) (*Platform, error) {
 	}
 	est := throughput.NewEstimator(hw)
 	return &Platform{
-		observer:   opts.Observer,
-		obs:        o,
-		tr:         o.Tracer(),
-		ef:         ef,
-		cluster:    cluster,
-		est:        est,
-		prof:       throughput.NewProfiler(est, opts.Topology.GPUsPerServer, cluster.TotalGPUs()),
-		clock:      clock,
-		start:      clock(),
-		scale:      scale,
-		all:        make(map[string]*job.Job),
-		down:       make(map[int]bool),
-		infeasible: make(map[string]float64),
-		store:      opts.Store,
-		snapEvery:  opts.SnapshotEvery,
+		observer:    opts.Observer,
+		obs:         o,
+		tr:          o.Tracer(),
+		ef:          ef,
+		cluster:     cluster,
+		est:         est,
+		prof:        throughput.NewProfiler(est, opts.Topology.GPUsPerServer, cluster.TotalGPUs()),
+		clock:       clock,
+		start:       clock(),
+		scale:       scale,
+		prefix:      opts.JobPrefix,
+		all:         make(map[string]*job.Job),
+		tenantsSeen: make(map[string]bool),
+		down:        make(map[int]bool),
+		infeasible:  make(map[string]float64),
+		store:       opts.Store,
+		snapEvery:   opts.SnapshotEvery,
 	}, nil
 }
 
@@ -265,6 +286,43 @@ func (p *Platform) Now() float64 {
 // handler serves its registry on /metrics and its bus on /debug/events.
 func (p *Platform) Obs() *obs.Obs { return p.obs }
 
+// ValidateSubmit runs the stateless checks of a submission — the ones the
+// front door can apply before routing, without touching any platform. A nil
+// return does not guarantee admission (the profiler may still reject a batch
+// the cluster cannot fit); it guarantees the request is well-formed.
+func ValidateSubmit(req SubmitRequest) error {
+	spec, err := model.ByName(req.Model)
+	if err != nil {
+		return err
+	}
+	if !spec.SupportsBatch(req.GlobalBatch) {
+		return fmt.Errorf("serverless: model %s does not support global batch %d (Table 1 pool: %v)", req.Model, req.GlobalBatch, spec.BatchSizes)
+	}
+	if req.Iterations <= 0 {
+		return fmt.Errorf("serverless: iterations must be positive")
+	}
+	if !req.BestEffort && req.DeadlineSeconds <= 0 {
+		return fmt.Errorf("serverless: deadline must be positive for SLO jobs")
+	}
+	return nil
+}
+
+// validateSubmitFull is ValidateSubmit plus the platform-specific profiler
+// check (feasibility against this cluster's size). Runs lock-free.
+func (p *Platform) validateSubmitFull(req SubmitRequest) error {
+	if err := ValidateSubmit(req); err != nil {
+		return err
+	}
+	spec, err := model.ByName(req.Model)
+	if err != nil {
+		return err
+	}
+	if _, _, err := p.prof.Profile(spec, req.GlobalBatch); err != nil {
+		return err
+	}
+	return nil
+}
+
 // Submit profiles, validates and admits a job (§3.1). The returned status
 // reports whether the job was admitted or dropped. Invalid requests are
 // rejected before they reach the journal; a valid request is journaled
@@ -272,20 +330,7 @@ func (p *Platform) Obs() *obs.Obs { return p.obs }
 //
 //eflint:journal entry
 func (p *Platform) Submit(req SubmitRequest) (JobStatus, error) {
-	spec, err := model.ByName(req.Model)
-	if err != nil {
-		return JobStatus{}, err
-	}
-	if !spec.SupportsBatch(req.GlobalBatch) {
-		return JobStatus{}, fmt.Errorf("serverless: model %s does not support global batch %d (Table 1 pool: %v)", req.Model, req.GlobalBatch, spec.BatchSizes)
-	}
-	if req.Iterations <= 0 {
-		return JobStatus{}, fmt.Errorf("serverless: iterations must be positive")
-	}
-	if !req.BestEffort && req.DeadlineSeconds <= 0 {
-		return JobStatus{}, fmt.Errorf("serverless: deadline must be positive for SLO jobs")
-	}
-	if _, _, err := p.prof.Profile(spec, req.GlobalBatch); err != nil {
+	if err := p.validateSubmitFull(req); err != nil {
 		return JobStatus{}, err
 	}
 
@@ -306,24 +351,147 @@ func (p *Platform) Submit(req SubmitRequest) (JobStatus, error) {
 	return st, err
 }
 
-// applySubmitLocked runs the submission decision at time now — the shared
-// apply function of the live path and journal replay. Everything it does is
-// deterministic in (req, now, platform state).
+// SubmitBatch admits a batch of pre-validated submissions as ONE journaled
+// mutation: a single recBatch record carries every request (with its tenant
+// tag), a single batch event frames the group in the event trail, and — when
+// anything was admitted — a single rescheduling pass folds the plan cache
+// once for the whole batch instead of once per arrival. Verdicts come back
+// in arrival order. An invalid item fails the whole batch before the journal
+// is touched: the front door validates with ValidateSubmit before batching,
+// so a rejection here is a caller bug, not a tenant error.
+//
+//eflint:journal entry
+func (p *Platform) SubmitBatch(reqs []SubmitRequest) ([]JobStatus, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	for i := range reqs {
+		if err := p.validateSubmitFull(reqs[i]); err != nil {
+			return nil, fmt.Errorf("serverless: batch item %d: %w", i, err)
+		}
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkMutableLocked(); err != nil {
+		return nil, err
+	}
+	p.advanceLocked()
+	now := p.lastTick
+	if p.journalingLocked() {
+		if err := p.journalLocked(recBatch, now, batchBody{Batch: p.batches + 1, Reqs: reqs}, true); err != nil {
+			return nil, err
+		}
+	}
+	out := p.applySubmitBatchLocked(reqs, now)
+	p.maybeSnapshotLocked()
+	return out, nil
+}
+
+// applySubmitBatchLocked runs the batched admission decision at time now —
+// shared by the live path and journal replay. One batch event frames the
+// group, one frontdoor.batch span parents every admitted job's lifecycle,
+// and at most one rescheduling pass runs for the whole batch.
+//
+//eflint:journal apply
+func (p *Platform) applySubmitBatchLocked(reqs []SubmitRequest, now float64) []JobStatus {
+	p.batches++
+	batch := p.batches
+	p.eventLocked(now, obs.KindBatch, "",
+		obs.F("batch", batch), obs.F("size", len(reqs)), obs.F("tenants", tenantList(reqs)))
+	ref := p.tr.Begin(now, tracing.SpanFrontdoorBatch, "")
+	out := make([]JobStatus, len(reqs))
+	jobs := make([]*job.Job, len(reqs))
+	admitted := 0
+	ba := p.ef.BeginAdmitBatch(now, p.capLocked())
+	for i, req := range reqs {
+		j, st, err := p.applySubmitItemLocked(req, now, ref, ba)
+		if err != nil {
+			// Validation passed before journaling, so an apply error is
+			// deterministic in (req, state) and replay reaches the same
+			// verdict; frame it as an event so trails stay comparable.
+			p.eventLocked(now, obs.KindError, "",
+				obs.F("op", "batch-submit"), obs.F("err", err.Error()))
+			out[i] = JobStatus{Model: req.Model, Tenant: req.Tenant, State: "invalid"}
+			continue
+		}
+		if j != nil {
+			jobs[i] = j
+			admitted++
+			continue
+		}
+		out[i] = st
+	}
+	if admitted > 0 {
+		p.rescheduleLocked(now)
+	}
+	for i, j := range jobs {
+		if j != nil {
+			out[i] = p.statusLocked(j)
+		}
+	}
+	p.tr.EndLSN(now, ref, p.curLSN,
+		tracing.A("batch", batch), tracing.A("size", len(reqs)), tracing.A("admitted", admitted))
+	return out
+}
+
+// tenantList renders the distinct tenants of a batch in first-appearance
+// order — the deterministic framing string of the batch event.
+func tenantList(reqs []SubmitRequest) string {
+	seen := make(map[string]bool, len(reqs))
+	names := make([]string, 0, len(reqs))
+	for _, r := range reqs {
+		t := r.Tenant
+		if t == "" {
+			t = "-"
+		}
+		if !seen[t] {
+			seen[t] = true
+			names = append(names, t)
+		}
+	}
+	return strings.Join(names, ",")
+}
+
+// applySubmitLocked runs a single submission decision at time now — the
+// shared apply function of the live path and journal replay. Everything it
+// does is deterministic in (req, now, platform state).
 //
 //eflint:journal apply
 func (p *Platform) applySubmitLocked(req SubmitRequest, now float64) (JobStatus, error) {
-	spec, err := model.ByName(req.Model)
+	j, st, err := p.applySubmitItemLocked(req, now, tracing.Ref{}, p.ef.BeginAdmitBatch(now, p.capLocked()))
 	if err != nil {
 		return JobStatus{}, err
+	}
+	if j == nil {
+		return st, nil
+	}
+	p.rescheduleLocked(now)
+	return p.statusLocked(j), nil
+}
+
+// applySubmitItemLocked builds, profiles and admission-checks one submission
+// without rescheduling. An admitted job is returned for the caller to
+// reschedule and compute its post-schedule status (possibly amortized over a
+// whole batch); a dropped submission returns (nil, dropStatus, nil) with the
+// counter-offer filled in. The lifecycle root parents under batch when set.
+// ba is the batch's admission session: one pass-1 fold and one counter-offer
+// search amortize across same-shape arrivals (a single submission passes a
+// fresh one-item session, which computes exactly what Admit would).
+func (p *Platform) applySubmitItemLocked(req SubmitRequest, now float64, batch tracing.Ref, ba *core.AdmitBatch) (*job.Job, JobStatus, error) {
+	spec, err := model.ByName(req.Model)
+	if err != nil {
+		return nil, JobStatus{}, err
 	}
 	prof, _, err := p.prof.Profile(spec, req.GlobalBatch)
 	if err != nil {
-		return JobStatus{}, err
+		return nil, JobStatus{}, err
 	}
 	p.seq++
 	j := &job.Job{
-		ID:                 fmt.Sprintf("job-%04d", p.seq),
+		ID:                 fmt.Sprintf("%sjob-%04d", p.prefix, p.seq),
 		User:               req.User,
+		Tenant:             req.Tenant,
 		Model:              spec,
 		GlobalBatch:        req.GlobalBatch,
 		TotalIters:         req.Iterations,
@@ -345,41 +513,68 @@ func (p *Platform) applySubmitLocked(req SubmitRequest, now float64) (JobStatus,
 		j.Class = job.SoftDeadline
 	}
 	if err := j.Validate(); err != nil {
-		return JobStatus{}, err
+		return nil, JobStatus{}, err
 	}
 	p.all[j.ID] = j
+	if j.Tenant != "" {
+		p.tenantsSeen[j.Tenant] = true
+	}
 	// Open the lifecycle root before admission so the scheduler's plan
-	// span lands under it; a drop closes the tree immediately.
-	p.tr.StartJob(now, j.ID)
+	// span lands under it; a drop closes the tree immediately. Batched
+	// arrivals parent under the batch's frontdoor.batch span.
+	p.tr.StartJobUnder(now, j.ID, batch)
 	stop := p.obs.Timer()
-	admitted := p.ef.Admit(now, j, p.active, p.capLocked())
+	admitted := ba.Admit(j, p.active)
 	p.obs.ObserveDecision("admit", stop())
-	if admitted {
-		j.State = job.Admitted
-		p.active = append(p.active, j)
-		p.eventLocked(now, obs.KindAdmit, j.ID,
-			obs.F("model", j.Model.Name), obs.F("class", j.Class.String()))
-		p.obs.IncAdmission("admit")
-		p.tr.EmitLSN(now, tracing.SpanAdmit, j.ID, p.curLSN,
-			tracing.A("verdict", "admit"), tracing.A("model", j.Model.Name), tracing.A("class", j.Class.String()))
-		p.rescheduleLocked(now)
-	} else {
+	if !admitted {
 		j.State = job.Dropped
 		p.dropped++
 		st := p.statusLocked(j)
-		if dl, ok := p.ef.EarliestDeadline(now, j, p.active, p.capLocked()); ok {
+		if dl, ok := ba.EarliestDeadline(j, p.active); ok {
 			st.EarliestFeasibleSec = dl - now
 		}
-		p.eventLocked(now, obs.KindDrop, j.ID,
+		fields := []obs.Field{
 			obs.F("model", j.Model.Name), obs.F("reason", "admission control"),
-			obs.F("earliest_feasible_sec", st.EarliestFeasibleSec))
+			obs.F("earliest_feasible_sec", st.EarliestFeasibleSec),
+		}
+		if j.Tenant != "" {
+			fields = append(fields, obs.F("tenant", j.Tenant))
+		}
+		p.eventLocked(now, obs.KindDrop, j.ID, fields...)
 		p.obs.IncAdmission("drop")
 		p.tr.EmitLSN(now, tracing.SpanAdmit, j.ID, p.curLSN,
 			tracing.A("verdict", "drop"), tracing.A("earliest_feasible_sec", st.EarliestFeasibleSec))
 		p.tr.EndJob(now, j.ID, p.curLSN, tracing.A("outcome", "dropped"))
-		return st, nil
+		return nil, st, nil
 	}
-	return p.statusLocked(j), nil
+	j.State = job.Admitted
+	p.active = append(p.active, j)
+	fields := []obs.Field{obs.F("model", j.Model.Name), obs.F("class", j.Class.String())}
+	if j.Tenant != "" {
+		fields = append(fields, obs.F("tenant", j.Tenant))
+	}
+	p.eventLocked(now, obs.KindAdmit, j.ID, fields...)
+	p.obs.IncAdmission("admit")
+	p.tr.EmitLSN(now, tracing.SpanAdmit, j.ID, p.curLSN,
+		tracing.A("verdict", "admit"), tracing.A("model", j.Model.Name), tracing.A("class", j.Class.String()))
+	return j, JobStatus{}, nil
+}
+
+// TenantUsage returns GPUs currently held per tenant across active jobs.
+// It deliberately does not advance the clock: the front door polls it every
+// scheduling epoch for quota checks, and quota enforcement is documented as
+// epoch-granular, so a slightly stale read is fine and keeps the poll from
+// churning advance records.
+func (p *Platform) TenantUsage() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int)
+	for _, j := range p.active {
+		if j.Tenant != "" {
+			out[j.Tenant] += j.GPUs
+		}
+	}
+	return out
 }
 
 // Get returns one job's status.
@@ -687,11 +882,15 @@ func (p *Platform) rescheduleLocked(now float64) {
 func (p *Platform) gaugesLocked() {
 	used := 0
 	eff := 0.0
+	byTenant := make(map[string]int, len(p.tenantsSeen))
 	for _, j := range p.active {
 		if j.GPUs <= 0 {
 			continue
 		}
 		used += j.GPUs
+		if j.Tenant != "" {
+			byTenant[j.Tenant] += j.GPUs
+		}
 		t1 := j.Curve.At(1)
 		if t1 <= 0 {
 			if minW := j.Curve.MinWorkers(); minW > 0 {
@@ -704,6 +903,9 @@ func (p *Platform) gaugesLocked() {
 	}
 	p.obs.SetUsedGPUs(used)
 	p.obs.SetClusterEfficiency(eff / float64(p.cluster.TotalGPUs()))
+	for t := range p.tenantsSeen {
+		p.obs.SetTenantGPUs(t, byTenant[t])
+	}
 }
 
 // Allocations returns the current worker-count snapshot per active job —
@@ -753,6 +955,7 @@ func (p *Platform) statusLocked(j *job.Job) JobStatus {
 	s := JobStatus{
 		ID:          j.ID,
 		User:        j.User,
+		Tenant:      j.Tenant,
 		Model:       j.Model.Name,
 		GlobalBatch: j.GlobalBatch,
 		State:       j.State.String(),

@@ -31,7 +31,12 @@ import (
 // re-applying, so time-dependent admission and allocation decisions
 // reproduce exactly.
 const (
-	recSubmit   = "submit"
+	recSubmit = "submit"
+	// recBatch is one front-door admission batch: the full request list,
+	// each tagged with its tenant, journaled as a single durable record so
+	// the whole batch admits (or is lost) atomically and replay regenerates
+	// the same batch framing in the event trail.
+	recBatch    = "batch"
 	recCancel   = "cancel"
 	recNodeDown = "node-down"
 	recNodeUp   = "node-up"
@@ -62,6 +67,14 @@ type cancelBody struct {
 }
 type nodeBody struct {
 	Server int `json:"server"`
+}
+
+// batchBody is the journal body of one admission batch. Batch is the
+// batch ordinal at append time — framing for humans and external readers;
+// replay derives the same value by counting, it does not trust the field.
+type batchBody struct {
+	Batch uint64          `json:"batch"`
+	Reqs  []SubmitRequest `json:"reqs"`
 }
 
 // eventBody is the journaled mirror of one obs event (Seq is bus-assigned
@@ -230,6 +243,9 @@ type platformState struct {
 	LastTick  float64 `json:"last_tick"`
 	Completed int     `json:"completed"`
 	Dropped   int     `json:"dropped"`
+	// Batches counts front-door admission batches applied so far. Additive
+	// field: absent in pre-front-door snapshots, which decode as 0.
+	Batches uint64 `json:"batches,omitempty"`
 	// Down lists failed servers, sorted.
 	Down []int `json:"down,omitempty"`
 	// Infeasible maps at-risk job IDs to their counter-offers.
@@ -248,6 +264,7 @@ type platformState struct {
 type jobState struct {
 	ID          string  `json:"id"`
 	User        string  `json:"user,omitempty"`
+	Tenant      string  `json:"tenant,omitempty"`
 	Model       string  `json:"model"`
 	GlobalBatch int     `json:"global_batch"`
 	TotalIters  float64 `json:"total_iters"`
@@ -291,6 +308,7 @@ func (p *Platform) stateLocked() platformState {
 		LastTick:  p.lastTick,
 		Completed: p.completed,
 		Dropped:   p.dropped,
+		Batches:   p.batches,
 	}
 	for s := range p.down {
 		st.Down = append(st.Down, s)
@@ -309,6 +327,7 @@ func (p *Platform) stateLocked() platformState {
 		js := jobState{
 			ID:                 j.ID,
 			User:               j.User,
+			Tenant:             j.Tenant,
 			Model:              j.Model.Name,
 			GlobalBatch:        j.GlobalBatch,
 			TotalIters:         j.TotalIters,
@@ -366,6 +385,7 @@ func (p *Platform) restoreStateLocked(payload []byte) error {
 	p.lastTick = st.LastTick
 	p.completed = st.Completed
 	p.dropped = st.Dropped
+	p.batches = st.Batches
 	for _, js := range st.Jobs {
 		spec, err := model.ByName(js.Model)
 		if err != nil {
@@ -382,6 +402,7 @@ func (p *Platform) restoreStateLocked(payload []byte) error {
 		j := &job.Job{
 			ID:                 js.ID,
 			User:               js.User,
+			Tenant:             js.Tenant,
 			Model:              spec,
 			GlobalBatch:        js.GlobalBatch,
 			TotalIters:         js.TotalIters,
@@ -406,6 +427,9 @@ func (p *Platform) restoreStateLocked(payload []byte) error {
 			j.Deadline = math.Inf(1)
 		}
 		p.all[j.ID] = j
+		if j.Tenant != "" {
+			p.tenantsSeen[j.Tenant] = true
+		}
 	}
 	for _, id := range st.Active {
 		j, ok := p.all[id]
@@ -515,6 +539,14 @@ func (p *Platform) replayRecordLocked(rec store.Record) error {
 		if _, err := p.applySubmitLocked(req, rec.Time); err != nil {
 			p.obs.EventNow(obs.KindError, "", obs.F("op", "replay-submit"), obs.F("err", err.Error()))
 		}
+	case recBatch:
+		var body batchBody
+		if err := json.Unmarshal(rec.Data, &body); err != nil {
+			return fmt.Errorf("serverless: decoding batch record %d: %w", rec.LSN, err)
+		}
+		p.replayPos++
+		p.advanceToLocked(rec.Time)
+		p.applySubmitBatchLocked(body.Reqs, rec.Time)
 	case recCancel:
 		var body cancelBody
 		if err := json.Unmarshal(rec.Data, &body); err != nil {

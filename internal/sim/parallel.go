@@ -30,10 +30,10 @@ import (
 type opKind uint32
 
 const (
-	opAdvance opKind = iota + 1 // j.Advance + GPU-second accrual
-	opFinishMin                 // min predicted completion time per shard
-	opDoneScan                  // done flags per active index
-	opEffScan                   // Eq. 8 per-job efficiency per active index
+	opAdvance   opKind = iota + 1 // j.Advance + GPU-second accrual
+	opFinishMin                   // min predicted completion time per shard
+	opDoneScan                    // done flags per active index
+	opEffScan                     // Eq. 8 per-job efficiency per active index
 )
 
 // shardCB is one shard's control block. The result slot is padded to its own
@@ -69,12 +69,27 @@ type pool struct {
 	arrived atomic.Int64
 	abort   atomic.Bool
 	wg      sync.WaitGroup
+
+	// Parking (futex-style): a shard that spins parkSpins times without
+	// seeing a new epoch blocks on parkCond instead of burning its core —
+	// long scheduler epochs and idle tails otherwise pin every shard at
+	// 100%. parked counts shards inside park(), so the release path only
+	// touches the lock when someone is actually asleep.
+	parked   atomic.Int64
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
 }
+
+// parkSpins is how many fruitless epoch checks a shard tolerates before
+// parking. Spinning covers the common case (the coordinator redispatches
+// within microseconds); parking covers the long gaps between events.
+const parkSpins = 256
 
 // newPool starts n−1 shard goroutines (the coordinator works the n-th stride
 // inline during dispatch).
 func newPool(n int, stats map[string]*JobResult) *pool {
 	p := &pool{n: n, stats: stats, cbs: make([]shardCB, n)}
+	p.parkCond = sync.NewCond(&p.parkMu)
 	p.wg.Add(n - 1)
 	for s := 1; s < n; s++ {
 		go p.shardLoop(s)
@@ -90,28 +105,57 @@ func newPool(n int, stats map[string]*JobResult) *pool {
 // on the error path like any other return.
 func (p *pool) stop() {
 	p.abort.Store(true)
+	p.parkMu.Lock()
+	p.parkCond.Broadcast()
+	p.parkMu.Unlock()
 	p.wg.Wait()
 }
 
 // shardLoop is the control loop of shard s: wait for a release, run the
 // published op over the shard's stride, arrive, repeat. The spin yields the
-// processor each iteration so GOMAXPROCS=1 runs make progress.
+// processor each iteration so GOMAXPROCS=1 runs make progress; after
+// parkSpins fruitless checks the shard parks until the next release.
 func (p *pool) shardLoop(s int) {
 	defer p.wg.Done()
 	seen := uint64(0)
+	spins := 0
 	for {
 		e := p.epoch.Load()
 		if e == seen {
 			if p.abort.Load() {
 				return
 			}
-			runtime.Gosched()
+			spins++
+			if spins < parkSpins {
+				runtime.Gosched()
+				continue
+			}
+			p.park(seen)
+			spins = 0
 			continue
 		}
 		seen = e
+		spins = 0
 		p.runShard(s)
 		p.arrived.Add(1)
 	}
+}
+
+// park blocks the shard until the epoch moves past seen or the pool aborts.
+// Lost-wakeup safety is Dekker-style over seq-cst atomics: the shard raises
+// parked BEFORE re-checking the epoch, and the coordinator bumps the epoch
+// BEFORE reading parked — so either the shard observes the new epoch and
+// skips the wait, or the coordinator observes parked>0 and broadcasts. The
+// re-check runs under parkMu, so a broadcast cannot slip between the check
+// and the Wait.
+func (p *pool) park(seen uint64) {
+	p.parked.Add(1)
+	p.parkMu.Lock()
+	for p.epoch.Load() == seen && !p.abort.Load() {
+		p.parkCond.Wait()
+	}
+	p.parkMu.Unlock()
+	p.parked.Add(-1)
 }
 
 // dispatch publishes op over the canonical active slice, releases the
@@ -120,6 +164,11 @@ func (p *pool) dispatch(op opKind, jobs []*job.Job, now, dt float64) {
 	p.op, p.jobs, p.now, p.dt = op, jobs, now, dt
 	p.arrived.Store(0)
 	p.epoch.Add(1)
+	if p.parked.Load() > 0 {
+		p.parkMu.Lock()
+		p.parkCond.Broadcast()
+		p.parkMu.Unlock()
+	}
 	p.runShard(0)
 	for p.arrived.Load() < int64(p.n-1) {
 		runtime.Gosched()

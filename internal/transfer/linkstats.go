@@ -1,0 +1,83 @@
+package transfer
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultLinkAlpha is the EWMA smoothing factor for measured link
+// bandwidth: each new transfer contributes 20%, so a single slow (or
+// anomalously fast) transfer cannot whipsaw the estimate, while a real
+// shift in link quality shows within a handful of transfers.
+const DefaultLinkAlpha = 0.2
+
+// LinkStats is an exponentially weighted moving average of measured
+// bandwidth per link, fed by movers that have measurement enabled (see
+// Mover.Clock). The table answers "what does this link actually deliver"
+// from observed transfers, as opposed to the static topology-priced cost
+// model — the ef_transfer_link_bps series exports it.
+type LinkStats struct {
+	// Alpha is the smoothing factor in (0, 1] (default DefaultLinkAlpha).
+	Alpha float64
+	// Publish, when set, receives every updated average — wire it to
+	// obs.SetTransferLinkBps to export the table. Called outside the
+	// table's lock.
+	Publish func(link string, bps float64)
+
+	mu  sync.Mutex
+	bps map[string]float64 // guarded by mu
+}
+
+func (ls *LinkStats) alpha() float64 {
+	if ls.Alpha > 0 && ls.Alpha <= 1 {
+		return ls.Alpha
+	}
+	return DefaultLinkAlpha
+}
+
+// Observe folds one completed transfer into link's average. The first
+// sample primes the average; transfers that moved no bytes or took no
+// measurable time are ignored rather than recorded as zero bandwidth.
+func (ls *LinkStats) Observe(link string, bytes int64, seconds float64) {
+	if bytes <= 0 || seconds <= 0 {
+		return
+	}
+	sample := float64(bytes) / seconds
+	ls.mu.Lock()
+	if ls.bps == nil {
+		ls.bps = make(map[string]float64)
+	}
+	cur, primed := ls.bps[link]
+	if !primed {
+		cur = sample
+	} else {
+		a := ls.alpha()
+		cur = a*sample + (1-a)*cur
+	}
+	ls.bps[link] = cur
+	ls.mu.Unlock()
+	if ls.Publish != nil {
+		ls.Publish(link, cur)
+	}
+}
+
+// BPS returns link's current average bandwidth in bytes/sec, false when the
+// link has never been observed.
+func (ls *LinkStats) BPS(link string) (float64, bool) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	v, ok := ls.bps[link]
+	return v, ok
+}
+
+// Links returns the observed link names, sorted.
+func (ls *LinkStats) Links() []string {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	out := make([]string, 0, len(ls.bps))
+	for l := range ls.bps {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

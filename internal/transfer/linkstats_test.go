@@ -1,0 +1,122 @@
+package transfer
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestLinkStatsEWMA(t *testing.T) {
+	ls := &LinkStats{}
+	if _, ok := ls.BPS("a1"); ok {
+		t.Fatal("unobserved link reported a bandwidth")
+	}
+
+	// The first sample primes the average — no decay toward zero.
+	ls.Observe("a1", 1000, 1.0)
+	if got, _ := ls.BPS("a1"); got != 1000 {
+		t.Fatalf("primed bps = %v, want 1000", got)
+	}
+
+	// The second blends at DefaultLinkAlpha: 0.2*2000 + 0.8*1000.
+	ls.Observe("a1", 2000, 1.0)
+	if got, _ := ls.BPS("a1"); math.Abs(got-1200) > 1e-9 {
+		t.Fatalf("blended bps = %v, want 1200", got)
+	}
+
+	// Degenerate observations are ignored, not recorded as zero.
+	ls.Observe("a1", 0, 1.0)
+	ls.Observe("a1", 1000, 0)
+	ls.Observe("a1", -5, 1.0)
+	if got, _ := ls.BPS("a1"); math.Abs(got-1200) > 1e-9 {
+		t.Fatalf("bps moved to %v after degenerate observations", got)
+	}
+
+	ls.Observe("a2", 500, 1.0)
+	links := ls.Links()
+	if len(links) != 2 || links[0] != "a1" || links[1] != "a2" {
+		t.Fatalf("links = %v, want [a1 a2]", links)
+	}
+}
+
+func TestLinkStatsCustomAlphaAndPublish(t *testing.T) {
+	var pubLink string
+	var pubBps float64
+	pubs := 0
+	ls := &LinkStats{
+		Alpha: 0.5,
+		Publish: func(link string, bps float64) {
+			pubLink, pubBps = link, bps
+			pubs++
+		},
+	}
+	ls.Observe("rack", 100, 1.0)
+	ls.Observe("rack", 300, 1.0) // 0.5*300 + 0.5*100 = 200
+	if got, _ := ls.BPS("rack"); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("alpha-0.5 bps = %v, want 200", got)
+	}
+	if pubs != 2 || pubLink != "rack" || math.Abs(pubBps-200) > 1e-9 {
+		t.Fatalf("publish saw (%q, %v) over %d calls, want (rack, 200) over 2", pubLink, pubBps, pubs)
+	}
+	// Ignored observations must not publish stale values either.
+	ls.Observe("rack", 0, 1.0)
+	if pubs != 2 {
+		t.Fatalf("degenerate observation published (%d calls)", pubs)
+	}
+}
+
+// steppedClock returns a clock that advances a fixed amount per reading, so
+// a Fetch or Push measured by two readings spans exactly one step.
+func steppedClock(step time.Duration) func() time.Time {
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		now := t
+		t = t.Add(step)
+		return now
+	}
+}
+
+func TestMoverMeasuresBandwidth(t *testing.T) {
+	peer := newMemPeer()
+	data := bytes.Repeat([]byte{0xEF}, 3000)
+	off := peer.offer("ck", data)
+
+	ls := &LinkStats{}
+	m := &Mover{ChunkSize: 1024, Clock: steppedClock(2 * time.Second), Links: ls, Link: "a7"}
+	got, err := m.Fetch(peer, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("fetched bytes differ")
+	}
+	// 3000 bytes over the one 2s clock step between measure open and close.
+	if bps, ok := ls.BPS("a7"); !ok || math.Abs(bps-1500) > 1e-9 {
+		t.Fatalf("fetch bps = %v (ok=%v), want 1500", bps, ok)
+	}
+
+	// Push on the same mover folds a second observation into the EWMA:
+	// 0.2*1500 + 0.8*1500 = 1500 (same measured rate).
+	if err := m.Push(peer, "ck2", data); err != nil {
+		t.Fatal(err)
+	}
+	if bps, ok := ls.BPS("a7"); !ok || math.Abs(bps-1500) > 1e-9 {
+		t.Fatalf("bps after push = %v (ok=%v), want 1500", bps, ok)
+	}
+}
+
+func TestMoverMeasurementDefaultOff(t *testing.T) {
+	peer := newMemPeer()
+	data := bytes.Repeat([]byte{0x01}, 512)
+	off := peer.offer("ck", data)
+
+	ls := &LinkStats{}
+	m := &Mover{Links: ls, Link: "a1"} // no Clock → measurement off
+	if _, err := m.Fetch(peer, off); err != nil {
+		t.Fatal(err)
+	}
+	if links := ls.Links(); len(links) != 0 {
+		t.Fatalf("measurement ran without a clock: observed %v", links)
+	}
+}
